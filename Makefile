@@ -1,0 +1,48 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench reproduce examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper into results/.
+reproduce:
+	mkdir -p results
+	$(GO) run ./cmd/tables -table 1   > results/table1.txt
+	$(GO) run ./cmd/tables -table 2   > results/table2.txt
+	$(GO) run ./cmd/simulate          > results/table3.txt
+	$(GO) run ./cmd/figures -figure 2 > results/figure2.txt
+	$(GO) run ./cmd/figures -figure 3 > results/figure3.txt
+	$(GO) run ./cmd/figures -figure 4 > results/figure4.txt
+	$(GO) run ./cmd/figures -figure 7 > results/figure7.txt
+	$(GO) run ./cmd/figures -figure 8 > results/figure8.txt
+	$(GO) run ./cmd/sweep -n 1e6      > results/sweep.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/histogram
+	$(GO) run ./examples/partitioner
+	$(GO) run ./examples/parallel
+	$(GO) run ./examples/groupby
+	$(GO) run ./examples/multicolumn
+	$(GO) run ./examples/monitoring
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,12 @@
+package mrl
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// newRand returns a seeded generator for benchmark determinism.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// sortFloats sorts in place (kept here so bench_test.go reads linearly).
+func sortFloats(vs []float64) { sort.Float64s(vs) }

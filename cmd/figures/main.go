@@ -1,0 +1,132 @@
+// Command figures regenerates the data series behind Figure 7 (memory vs N
+// at epsilon=0.01 for the three policies) and Figure 8 (the to-sample-or-
+// not threshold vs epsilon at 99.99% confidence) of the MRL SIGMOD 1998
+// paper. Output is a plain table, one row per x-value, suitable for any
+// plotting tool.
+//
+// Usage:
+//
+//	figures -figure 7 [-eps 0.01]
+//	figures -figure 8 [-delta 1e-4] [-points 13]
+//	figures -figure 2|3|4 [-b N] [-height H]   (collapse-tree drawings)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mrl/internal/core"
+	"mrl/internal/params"
+	"mrl/internal/tree"
+)
+
+var (
+	figure = flag.Int("figure", 7, "paper figure to regenerate (2, 3, 4, 7 or 8)")
+	eps    = flag.Float64("eps", 0.01, "epsilon for figure 7")
+	delta  = flag.Float64("delta", 1e-4, "confidence parameter for figure 8")
+	points = flag.Int("points", 13, "number of epsilon points for figure 8")
+	bFlag  = flag.Int("b", 0, "buffer count for figures 2-4 (defaults to the paper's: 6, 10, 5)")
+	hFlag  = flag.Int("height", 3, "tree height for figure 4")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	flag.Parse()
+	var err error
+	switch *figure {
+	case 2, 3, 4:
+		err = figureTree(*figure, *bFlag, *hFlag)
+	case 7:
+		err = figure7(*eps)
+	case 8:
+		err = figure8(*delta, *points)
+	default:
+		err = fmt.Errorf("unknown figure %d (supported: 2, 3, 4, 7, 8)", *figure)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func figure7(eps float64) error {
+	fmt.Printf("Figure 7: memory (elements) vs N at epsilon=%g\n", eps)
+	var sizes []int64
+	for e := 4.0; e <= 9.01; e += 0.25 {
+		sizes = append(sizes, int64(math.Round(math.Pow(10, e))))
+	}
+	nw := params.MemoryCurve(core.PolicyNew, eps, sizes)
+	mp := params.MemoryCurve(core.PolicyMunroPaterson, eps, sizes)
+	ars := params.MemoryCurve(core.PolicyARS, eps, sizes)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, strings.Join([]string{"N", "new", "munro-paterson", "alsabti-ranka-singh"}, "\t")+"\t")
+	for i, n := range sizes {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t\n", n, nw[i], mp[i], ars[i])
+	}
+	return w.Flush()
+}
+
+func figure8(delta float64, points int) error {
+	if points < 2 {
+		return fmt.Errorf("need at least 2 points, got %d", points)
+	}
+	fmt.Printf("Figure 8: dataset-size threshold above which sampling wins, confidence %.2f%%\n", 100*(1-delta))
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "epsilon\tthreshold N\tsampled memory\t")
+	// Log-spaced epsilons from 0.1 down to 0.0001, as in the paper.
+	loE, hiE := math.Log10(0.0001), math.Log10(0.1)
+	for i := 0; i < points; i++ {
+		e := math.Pow(10, hiE+(loE-hiE)*float64(i)/float64(points-1))
+		thr, err := params.Threshold(e, delta, 1)
+		if err != nil {
+			return err
+		}
+		sp, err := params.OptimizeSampled(e, delta, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.5f\t%d\t%d\t\n", e, thr, sp.Memory())
+	}
+	return w.Flush()
+}
+
+// figureTree draws the collapse trees of Figures 2-4 with the paper's
+// default buffer counts (b=6 for Munro-Paterson, b=10 for
+// Alsabti-Ranka-Singh, b=5 for the new policy).
+func figureTree(figure, b, h int) error {
+	var root *tree.Node
+	var err error
+	switch figure {
+	case 2:
+		if b == 0 {
+			b = 6
+		}
+		fmt.Printf("Figure 2: Munro-Paterson tree, b=%d\n", b)
+		root, err = tree.BuildMunroPaterson(b)
+	case 3:
+		if b == 0 {
+			b = 10
+		}
+		fmt.Printf("Figure 3: Alsabti-Ranka-Singh tree, b=%d\n", b)
+		root, err = tree.BuildARS(b)
+	default:
+		if b == 0 {
+			b = 5
+		}
+		fmt.Printf("Figure 4: new collapsing scheme, b=%d, height=%d\n", b, h)
+		root, err = tree.BuildNew(b, h)
+	}
+	if err != nil {
+		return err
+	}
+	s := root.Shape()
+	fmt.Printf("leaves=%d collapses=%d weight-sum=%d wmax=%d lemma5=%g\n\n",
+		s.Leaves, s.Collapses, s.WeightSum, s.WMax, s.ErrorNumerator())
+	fmt.Print(root.Render())
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command genstream materialises the experiment workloads of
+// internal/stream as files, for feeding mrlquant or external tools: rank
+// permutations in every arrival order the paper worries about, and several
+// value distributions.
+//
+// Usage:
+//
+//	genstream -kind shuffled -n 1e7 -seed 42 -o data.bin          (binary float64)
+//	genstream -kind zipf -n 1e6 -param 1.5 -domain 1e5 -text -o data.txt
+//
+// Kinds: sorted, reversed, zigzag, organpipe, shuffled, blocked, uniform,
+// normal, lognormal, exponential, zipf, discrete, mixture.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"mrl/internal/stream"
+)
+
+var (
+	kind   = flag.String("kind", "shuffled", "workload kind (see doc)")
+	nFlag  = flag.Float64("n", 1e6, "number of elements")
+	seed   = flag.Int64("seed", 42, "generator seed")
+	out    = flag.String("o", "", "output path (required)")
+	text   = flag.Bool("text", false, "write decimal text, one value per line (default: binary float64)")
+	param  = flag.Float64("param", 1.5, "distribution parameter (zipf s, exponential rate, normal stddev, lognormal sigma)")
+	mean   = flag.Float64("mean", 0, "mean / mu for normal and lognormal")
+	domain = flag.Float64("domain", 1e6, "domain size for zipf and discrete")
+	blocks = flag.Int("blocks", 64, "block count for the blocked arrival order")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genstream: ")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-o output path is required")
+	}
+	n := int64(*nFlag)
+	if n < 1 {
+		log.Fatalf("bad -n %v", *nFlag)
+	}
+	src, err := build(*kind, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *text {
+		err = writeText(*out, src)
+	} else {
+		err = stream.WriteBinaryFile(*out, src)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d values (%s) to %s\n", n, src.Name(), *out)
+}
+
+func build(kind string, n int64) (stream.Source, error) {
+	switch kind {
+	case "sorted":
+		return stream.Sorted(n), nil
+	case "reversed":
+		return stream.Reversed(n), nil
+	case "zigzag":
+		return stream.Zigzag(n), nil
+	case "organpipe":
+		return stream.OrganPipe(n), nil
+	case "shuffled":
+		return stream.Shuffled(n, *seed), nil
+	case "blocked":
+		return stream.Blocked(n, *blocks, *seed), nil
+	case "uniform":
+		return stream.Uniform(n, *seed), nil
+	case "normal":
+		return stream.Normal(n, *seed, *mean, *param), nil
+	case "lognormal":
+		return stream.LogNormal(n, *seed, *mean, *param), nil
+	case "exponential":
+		return stream.Exponential(n, *seed, *param), nil
+	case "zipf":
+		return stream.Zipf(n, *seed, *param, uint64(*domain)), nil
+	case "discrete":
+		return stream.Discrete(n, *seed, int64(*domain)), nil
+	case "mixture":
+		return stream.Mixture(n, *seed), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func writeText(path string, src stream.Source) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	werr := stream.Each(src, func(v float64) error {
+		buf := strconv.AppendFloat(nil, v, 'g', -1, 64)
+		buf = append(buf, '\n')
+		_, e := w.Write(buf)
+		return e
+	})
+	if werr != nil {
+		return werr
+	}
+	return w.Flush()
+}

@@ -1,0 +1,220 @@
+// Command mrlquant computes approximate quantiles of numeric data in a
+// single pass with explicit rank guarantees (MRL, SIGMOD 1998). It reads
+// whitespace-separated decimal numbers from stdin or from files and prints
+// the requested quantiles, optionally as an equi-depth histogram or a set
+// of range-partitioning splitters.
+//
+// Usage:
+//
+//	mrlquant [flags] [file ...]
+//
+//	seq 1 1000000 | mrlquant -eps 0.001 -n 1000000 -phi 0.25,0.5,0.75
+//	mrlquant -eps 0.01 -n 1e8 -delta 1e-4 -hist 10 data.txt
+//	mrlquant -b 10 -k 1000 -splitters 8 data.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"mrl/internal/histogram"
+	"mrl/internal/partition"
+	"mrl/internal/stream"
+	"mrl/quantile"
+)
+
+var (
+	epsFlag   = flag.Float64("eps", 0.01, "rank-error guarantee epsilon")
+	nFlag     = flag.Float64("n", 0, "expected stream size (required unless -b/-k are set)")
+	phiFlag   = flag.String("phi", "0.5", "comma-separated quantile fractions in [0,1]")
+	polFlag   = flag.String("policy", "new", "collapsing policy: new, mp or ars")
+	deltaFlag = flag.Float64("delta", 0, "failure probability; > 0 allows sampling (memory independent of N)")
+	seedFlag  = flag.Int64("seed", 1, "seed for the sampling selector")
+	bFlag     = flag.Int("b", 0, "explicit buffer count (with -k, bypasses the optimizer)")
+	kFlag     = flag.Int("k", 0, "explicit buffer size (with -b, bypasses the optimizer)")
+	histFlag  = flag.Int("hist", 0, "print an equi-depth histogram with this many buckets")
+	splitFlag = flag.Int("splitters", 0, "print range-partitioning splitters for this many partitions")
+	statsFlag = flag.Bool("stats", false, "print sketch provisioning and the live error bound")
+	binFlag   = flag.Bool("binary", false, "read files as little-endian binary float64 records")
+	rankFlag  = flag.String("rank", "", "also report rank/CDF estimates for these comma-separated values")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrlquant: ")
+	flag.Parse()
+
+	var policy quantile.Policy
+	switch *polFlag {
+	case "new", "mrl":
+		policy = quantile.PolicyNew
+	case "mp", "munro-paterson":
+		policy = quantile.PolicyMunroPaterson
+	case "ars", "alsabti-ranka-singh":
+		policy = quantile.PolicyARS
+	default:
+		log.Fatalf("unknown -policy %q", *polFlag)
+	}
+
+	phis, err := parsePhis(*phiFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := quantile.Config{
+		Epsilon:      *epsFlag,
+		N:            int64(*nFlag),
+		Policy:       policy,
+		Delta:        *deltaFlag,
+		NumQuantiles: len(phis),
+		B:            *bFlag,
+		K:            *kFlag,
+		Seed:         *seedFlag,
+	}
+	sk, err := quantile.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if flag.NArg() == 0 {
+		if *binFlag {
+			log.Fatal("-binary requires file arguments")
+		}
+		if err := consume(sk, os.Stdin, "stdin"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, name := range flag.Args() {
+		if *binFlag {
+			if err := consumeBinary(sk, name); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = consume(sk, f, name)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sk.Count() == 0 {
+		log.Fatal("no input values")
+	}
+
+	if *statsFlag {
+		fmt.Printf("# %s count=%d\n", sk.Describe(), sk.Count())
+		if bound, ok := sk.ErrorBound(); ok {
+			fmt.Printf("# certified rank error <= %.1f (epsilon = %.6f)\n",
+				bound, bound/float64(sk.Count()))
+		}
+	}
+
+	values, err := sk.Quantiles(phis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, phi := range phis {
+		fmt.Printf("q%-6g %v\n", phi, values[i])
+	}
+
+	if *histFlag > 0 {
+		h, err := histogram.Build(sk, *histFlag, *epsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# equi-depth histogram, %d buckets, ~%.0f rows each (selectivity error <= %.4f)\n",
+			h.Buckets(), h.Depth(), h.SelectivityErrorBound())
+		for i := 0; i < h.Buckets(); i++ {
+			fmt.Printf("bucket %2d  [%v, %v]\n", i, h.Bounds[i], h.Bounds[i+1])
+		}
+	}
+
+	if *rankFlag != "" {
+		for _, tok := range strings.Split(*rankFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				log.Fatalf("bad -rank value %q: %v", tok, err)
+			}
+			r, err := sk.Rank(v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := sk.CDF(v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rank(%v) = %d  (cdf %.6f)\n", v, r, c)
+		}
+	}
+
+	if *splitFlag > 0 {
+		sp, err := partition.Splitters(sk, *splitFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# %d-way range partitioning splitters\n", *splitFlag)
+		for i, v := range sp {
+			fmt.Printf("splitter %2d  %v\n", i, v)
+		}
+	}
+}
+
+func parsePhis(s string) ([]float64, error) {
+	var phis []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quantile fraction %q: %v", tok, err)
+		}
+		if phi < 0 || phi > 1 {
+			return nil, fmt.Errorf("quantile fraction %v outside [0,1]", phi)
+		}
+		phis = append(phis, phi)
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("no quantile fractions in %q", s)
+	}
+	return phis, nil
+}
+
+func consume(sk *quantile.Sketch, r io.Reader, name string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	line := 0
+	for sc.Scan() {
+		line++
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			return fmt.Errorf("%s: token %d: %v", name, line, err)
+		}
+		if err := sk.Add(v); err != nil {
+			return fmt.Errorf("%s: token %d: %v", name, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// consumeBinary streams a little-endian float64 file into the sketch.
+func consumeBinary(sk *quantile.Sketch, name string) error {
+	f, err := stream.OpenBinaryFile(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return stream.Each(f, sk.Add)
+}

@@ -1,0 +1,133 @@
+// Command simulate regenerates the Section 6 simulation (Table 3 of the
+// MRL SIGMOD 1998 paper): it streams sorted and randomly permuted datasets
+// through the new algorithm provisioned at the requested epsilon, computes
+// 15 quantiles at q/16, and reports the observed epsilon of each one
+// against the exact ranks.
+//
+// Usage:
+//
+//	simulate [-eps 0.001] [-sizes 1e5,1e6,1e7] [-policy new] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"mrl/internal/core"
+	"mrl/internal/params"
+	"mrl/internal/stream"
+	"mrl/internal/validate"
+)
+
+var (
+	eps       = flag.Float64("eps", 0.001, "approximation guarantee epsilon")
+	sizesFlag = flag.String("sizes", "1e5,1e6,1e7", "comma-separated dataset sizes")
+	policyStr = flag.String("policy", "new", "collapsing policy: new, mp or ars")
+	seed      = flag.Int64("seed", 42, "seed for the random permutations")
+	runs      = flag.Int("runs", 1, "average the random columns over this many seeded runs")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	flag.Parse()
+
+	policy, err := core.ParsePolicy(*policyStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sizes []int64
+	for _, tok := range strings.Split(*sizesFlag, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || f < 1 {
+			log.Fatalf("bad size %q", tok)
+		}
+		sizes = append(sizes, int64(f))
+	}
+
+	phis := make([]float64, 15)
+	for q := 1; q <= 15; q++ {
+		phis[q-1] = float64(q) / 16
+	}
+
+	type column struct {
+		name   string
+		n      int64
+		report validate.Report
+	}
+	var cols []column
+	for _, order := range []string{"sorted", "random"} {
+		for _, n := range sizes {
+			plan, err := params.Optimize(policy, *eps, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nRuns := 1
+			if order == "random" {
+				nRuns = *runs
+			}
+			var agg validate.Report
+			for run := 0; run < nRuns; run++ {
+				var src stream.Source
+				if order == "sorted" {
+					src = stream.Sorted(n)
+				} else {
+					src = stream.Shuffled(n, *seed+int64(run))
+				}
+				sk, err := plan.NewSketch()
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep, err := validate.RunPermutation(src, sk, phis)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if run == 0 {
+					agg = rep
+				} else {
+					for q := range agg.Results {
+						agg.Results[q].Epsilon += rep.Results[q].Epsilon
+					}
+				}
+			}
+			if nRuns > 1 {
+				for q := range agg.Results {
+					agg.Results[q].Epsilon /= float64(nRuns)
+				}
+			}
+			name := fmt.Sprintf("%s %.0e", order, float64(n))
+			if nRuns > 1 {
+				name += fmt.Sprintf(" (mean of %d)", nRuns)
+			}
+			cols = append(cols, column{name, n, agg})
+		}
+	}
+
+	fmt.Printf("Observed epsilon, %s policy, epsilon=%g, quantiles q/16\n", policy, *eps)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	header := []string{"q"}
+	for _, c := range cols {
+		header = append(header, c.name)
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t")+"\t")
+	for q := 0; q < 15; q++ {
+		row := []string{fmt.Sprintf("%d", q+1)}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.5f", c.report.Results[q].Epsilon))
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t")+"\t")
+	}
+	row := []string{"max"}
+	for _, c := range cols {
+		row = append(row, fmt.Sprintf("%.5f", c.report.MaxEpsilon()))
+	}
+	fmt.Fprintln(w, strings.Join(row, "\t")+"\t")
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Command sweep measures the accuracy/memory tradeoff empirically: for a
+// fixed stream it runs each collapsing policy across a range of memory
+// budgets and reports the worst observed epsilon over 15 quantiles,
+// together with the a-priori bound the same memory would be provisioned
+// for. This is the empirical face of Figure 7: at equal memory the
+// policies' observed errors are comparable, so the new algorithm's smaller
+// memory per target epsilon (Table 1) is the real win.
+//
+// Usage:
+//
+//	sweep [-n 1e6] [-seed 42] [-order random|sorted] [-budgets 512,1024,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+var (
+	nFlag   = flag.Float64("n", 1e6, "stream length")
+	seed    = flag.Int64("seed", 42, "seed for the random order")
+	order   = flag.String("order", "random", "arrival order: random or sorted")
+	budgets = flag.String("budgets", "256,512,1024,2048,4096,8192", "comma-separated memory budgets (elements)")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	flag.Parse()
+	n := int64(*nFlag)
+	if n < 1 {
+		log.Fatalf("bad -n %v", *nFlag)
+	}
+	var src stream.Source
+	switch *order {
+	case "random":
+		src = stream.Shuffled(n, *seed)
+	case "sorted":
+		src = stream.Sorted(n)
+	default:
+		log.Fatalf("unknown -order %q", *order)
+	}
+	var mems []int
+	for _, tok := range strings.Split(*budgets, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || m < 8 {
+			log.Fatalf("bad budget %q", tok)
+		}
+		mems = append(mems, m)
+	}
+
+	phis := make([]float64, 15)
+	for q := 1; q <= 15; q++ {
+		phis[q-1] = float64(q) / 16
+	}
+
+	fmt.Printf("Observed epsilon vs memory, n=%d, order=%s\n", n, *order)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "memory\tpolicy\tb\tk\tobserved eps\tlive bound eps\t")
+	for _, mem := range mems {
+		for _, pol := range core.Policies {
+			b, k := geometry(pol, mem)
+			sk, err := core.NewSketch(b, k, pol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src.Reset()
+			if err := stream.Each(src, sk.Add); err != nil {
+				log.Fatal(err)
+			}
+			ests, err := sk.Quantiles(phis)
+			if err != nil {
+				log.Fatal(err)
+			}
+			worst := 0.0
+			for i, phi := range phis {
+				target := math.Ceil(phi * float64(n))
+				if e := math.Abs(ests[i]-target) / float64(n); e > worst {
+					worst = e
+				}
+			}
+			fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%.6f\t%.6f\t\n",
+				b*k, pol, b, k, worst, sk.ErrorBound()/float64(n))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// geometry splits a memory budget into a reasonable (b, k) per policy: the
+// new and MP policies like few large buffers, ARS needs many staging slots.
+func geometry(pol core.Policy, mem int) (b, k int) {
+	switch pol {
+	case core.PolicyARS:
+		b = 40
+	default:
+		b = 8
+	}
+	k = mem / b
+	if k < 1 {
+		k = 1
+	}
+	return b, k
+}

@@ -1,0 +1,184 @@
+// Command tables regenerates Table 1 and Table 2 of the MRL SIGMOD 1998
+// paper from the optimizers in internal/params.
+//
+// Usage:
+//
+//	tables -table 1 [-algo mp|ars|new|sampled|all] [-delta 1e-4]
+//	tables -table 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mrl/internal/core"
+	"mrl/internal/params"
+)
+
+var (
+	table = flag.Int("table", 1, "paper table to regenerate (1 or 2)")
+	algo  = flag.String("algo", "all", "table 1 block: mp, ars, new, sampled or all")
+	delta = flag.Float64("delta", 1e-4, "confidence parameter for table 1's sampled block (table 2 sweeps its own deltas)")
+)
+
+var (
+	epsilons = []float64{0.100, 0.050, 0.010, 0.005, 0.001}
+	sizes    = []int64{1e5, 1e6, 1e7, 1e8, 1e9}
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	flag.Parse()
+	switch *table {
+	case 1:
+		if err := table1(*algo, *delta); err != nil {
+			log.Fatal(err)
+		}
+	case 2:
+		if err := table2(); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown table %d (the paper has tables 1-3; table 3 is cmd/simulate)", *table)
+	}
+}
+
+type cell struct{ b, k int }
+
+func table1(algo string, delta float64) error {
+	blocks := []struct {
+		name string
+		want bool
+		plan func(eps float64, n int64) (cell, error)
+	}{
+		{"Munro-Paterson Algorithm", algo == "all" || algo == "mp", func(eps float64, n int64) (cell, error) {
+			p, err := params.Optimize(core.PolicyMunroPaterson, eps, n)
+			return cell{p.B, p.K}, err
+		}},
+		{"Alsabti-Ranka-Singh Algorithm", algo == "all" || algo == "ars", func(eps float64, n int64) (cell, error) {
+			p, err := params.Optimize(core.PolicyARS, eps, n)
+			return cell{p.B, p.K}, err
+		}},
+		{"New Algorithm", algo == "all" || algo == "new", func(eps float64, n int64) (cell, error) {
+			p, err := params.Optimize(core.PolicyNew, eps, n)
+			return cell{p.B, p.K}, err
+		}},
+		{fmt.Sprintf("Sampling followed by New Algorithm for %.2f%% confidence", 100*(1-delta)),
+			algo == "all" || algo == "sampled", func(eps float64, n int64) (cell, error) {
+				p, err := params.OptimizeSampledDataset(eps, delta, n, 1)
+				return cell{p.B, p.K}, err
+			}},
+	}
+	printed := false
+	for _, blk := range blocks {
+		if !blk.want {
+			continue
+		}
+		printed = true
+		fmt.Println(blk.name)
+		if err := printTable1Block(blk.plan); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !printed {
+		return fmt.Errorf("unknown -algo %q (want mp, ars, new, sampled or all)", algo)
+	}
+	return nil
+}
+
+func printTable1Block(plan func(eps float64, n int64) (cell, error)) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	header := []string{"eps\\N"}
+	for range []string{"b", "k", "bk"} {
+		for _, n := range sizes {
+			header = append(header, fmt.Sprintf("%.0e", float64(n)))
+		}
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t")+"\t")
+	for _, eps := range epsilons {
+		cells := make([]cell, len(sizes))
+		for i, n := range sizes {
+			c, err := plan(eps, n)
+			if err != nil {
+				return err
+			}
+			cells[i] = c
+		}
+		row := []string{fmt.Sprintf("%.3f", eps)}
+		for _, c := range cells {
+			row = append(row, fmt.Sprintf("%d", c.b))
+		}
+		for _, c := range cells {
+			row = append(row, fmt.Sprintf("%d", c.k))
+		}
+		for _, c := range cells {
+			row = append(row, fmt.Sprintf("%.1fK", float64(c.b)*float64(c.k)/1000))
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t")+"\t")
+	}
+	return w.Flush()
+}
+
+func table2() error {
+	deltas := []float64{1e-2, 1e-3, 1e-4}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Sampling followed by New Algorithm")
+	header := []string{"eps\\delta"}
+	for _, col := range []string{"alpha*eps", "S", "b", "k", "bk"} {
+		for _, d := range deltas {
+			header = append(header, fmt.Sprintf("%s@%.0e", col, d))
+		}
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t")+"\t")
+	for _, eps := range epsilons {
+		plans := make([]params.SampledPlan, len(deltas))
+		for i, d := range deltas {
+			p, err := params.OptimizeSampled(eps, d, 1)
+			if err != nil {
+				return err
+			}
+			plans[i] = p
+		}
+		row := []string{fmt.Sprintf("%.3f", eps)}
+		for _, p := range plans {
+			row = append(row, fmt.Sprintf("%.4f", p.Epsilon1()))
+		}
+		for _, p := range plans {
+			row = append(row, human(p.SampleSize))
+		}
+		for _, p := range plans {
+			row = append(row, fmt.Sprintf("%d", p.B))
+		}
+		for _, p := range plans {
+			row = append(row, fmt.Sprintf("%d", p.K))
+		}
+		for _, p := range plans {
+			row = append(row, fmt.Sprintf("%.2fK", float64(p.Memory())/1000))
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t")+"\t")
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nnote: S is the Lemma 7 sample size; the paper's printed S column is")
+	fmt.Println("inconsistent with its own k column (see EXPERIMENTS.md), the b/k/bk")
+	fmt.Println("columns reproduce the paper.")
+	return nil
+}
+
+func human(v int64) string {
+	switch {
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

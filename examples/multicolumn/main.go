@@ -1,0 +1,104 @@
+// Multi-column statistics in a single table scan: the Section 1.2
+// requirement that motivated minimising per-sketch memory ("it is
+// desirable to compute histograms for multiple columns of a table in a
+// single pass"). One scan of a simulated orders table feeds four sketches
+// (one per column, including a string key column via package ordered) and
+// derives an equi-depth histogram per numeric column.
+//
+//	go run ./examples/multicolumn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"mrl/internal/histogram"
+	"mrl/ordered"
+	"mrl/quantile"
+)
+
+type row struct {
+	orderKey  string  // zero-padded primary key
+	amount    float64 // log-normal-ish order value
+	items     float64 // small integer count
+	shipDelay float64 // days, exponential
+}
+
+func main() {
+	const n = 1_000_000
+	const eps = 0.005
+
+	numeric := map[string]*quantile.Sketch{}
+	for _, col := range []string{"amount", "items", "ship_delay"} {
+		sk, err := quantile.New(quantile.Config{Epsilon: eps, N: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		numeric[col] = sk
+	}
+	keys, err := ordered.New(eps, n, strings.Compare)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The single scan.
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < n; i++ {
+		rw := row{
+			orderKey:  fmt.Sprintf("ord-%09d", r.Intn(1_000_000_000)),
+			amount:    20 * (1 + r.ExpFloat64()) * (1 + r.ExpFloat64()),
+			items:     float64(1 + r.Intn(12)),
+			shipDelay: 2 * r.ExpFloat64(),
+		}
+		if err := numeric["amount"].Add(rw.amount); err != nil {
+			log.Fatal(err)
+		}
+		if err := numeric["items"].Add(rw.items); err != nil {
+			log.Fatal(err)
+		}
+		if err := numeric["ship_delay"].Add(rw.shipDelay); err != nil {
+			log.Fatal(err)
+		}
+		if err := keys.Add(rw.orderKey); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	total := 0
+	for _, sk := range numeric {
+		total += sk.MemoryElements()
+	}
+	total += keys.MemoryElements()
+	fmt.Printf("one scan of %d rows, 4 column summaries, %d buffered cells total (%.2f%% of one column)\n\n",
+		n, total, 100*float64(total)/float64(n))
+
+	for _, col := range []string{"amount", "items", "ship_delay"} {
+		sk := numeric[col]
+		h, err := histogram.Build(sk, 8, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err := sk.Quantiles([]float64{0.5, 0.95, 0.99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s p50=%9.2f p95=%9.2f p99=%9.2f  histogram bounds:", col, qs[0], qs[1], qs[2])
+		for _, bnd := range h.Bounds {
+			fmt.Printf(" %.1f", bnd)
+		}
+		fmt.Println()
+	}
+
+	// String-key splitters for 8-way range partitioning (e.g. parallel
+	// index build on the primary key).
+	sp, err := keys.Splitters(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\norder_key 8-way splitters (bound %.0f ranks):\n", keys.ErrorBound())
+	for i, s := range sp {
+		fmt.Printf("  %d: %s\n", i, s)
+	}
+}

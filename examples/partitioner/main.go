@@ -1,0 +1,58 @@
+// Value-range data partitioning for distributed sorting (Section 1.1 and
+// the DeWitt et al. splitting application): derive splitters from a
+// one-pass sketch, partition the data, and evaluate the balance and the
+// modelled sort speedup.
+//
+//	go run ./examples/partitioner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrl/internal/partition"
+	"mrl/internal/stream"
+	"mrl/quantile"
+)
+
+func main() {
+	const n = 2_000_000
+	const nodes = 16
+	const eps = 0.001 // partition sizes within 2*eps*N = 4000 rows of ideal
+
+	// The dataset: clustered arrival (bulk-loaded batches), worst case for
+	// naive "first N/p values" splitting.
+	src := stream.Blocked(n, 64, 11)
+
+	sk, err := quantile.New(quantile.Config{Epsilon: eps, N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stream.Each(src, sk.Add); err != nil {
+		log.Fatal(err)
+	}
+
+	splitters, err := partition.Splitters(sk, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-way splitters from a %d-element sketch over %d rows:\n",
+		nodes, sk.MemoryElements(), n)
+	for i, s := range splitters {
+		fmt.Printf("  splitter %2d: %12.0f\n", i, s)
+	}
+
+	src.Reset()
+	bal, err := partition.Evaluate(src, splitters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npartition sizes (ideal %.0f):\n", bal.Ideal())
+	for i, size := range bal.Sizes {
+		fmt.Printf("  node %2d: %7d (%+6d)\n", i, size, size-int64(bal.Ideal()))
+	}
+	fmt.Printf("\nspread (max-min)/ideal : %.5f (guarantee: <= %.5f)\n",
+		bal.Spread(), 4*eps*float64(n)/bal.Ideal())
+	fmt.Printf("straggler skew         : %.5f\n", bal.Skew())
+	fmt.Printf("modelled sort speedup  : %.2fx on %d nodes\n", bal.SortSpeedup(), nodes)
+}

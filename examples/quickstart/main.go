@@ -1,0 +1,53 @@
+// Quickstart: compute approximate quantiles of a large stream in one pass
+// with an explicit, a-priori rank guarantee.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mrl/quantile"
+)
+
+func main() {
+	const n = 1_000_000
+	const eps = 0.001
+
+	// Provision a sketch: every reported quantile will be within
+	// eps*n = 1000 ranks of exact, whatever the input order is.
+	sk, err := quantile.New(quantile.Config{Epsilon: eps, N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sketch: %s — %d elements of buffer for %d inputs (%.2f%%)\n",
+		sk.Describe(), sk.MemoryElements(), n,
+		100*float64(sk.MemoryElements())/float64(n))
+
+	// Stream data. Here: exponentially distributed latencies in ms.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		latency := r.ExpFloat64() * 20 // mean 20ms
+		if err := sk.Add(latency); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Any number of quantiles, one summary, no extra memory.
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	values, err := sk.Quantiles(phis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, phi := range phis {
+		fmt.Printf("p%-5g = %7.3f ms\n", phi*100, values[i])
+	}
+
+	// The sketch certifies, after the fact, how good the answers are.
+	if bound, ok := sk.ErrorBound(); ok {
+		fmt.Printf("certified: every answer within %.0f ranks of exact (eps=%.5f)\n",
+			bound, bound/float64(sk.Count()))
+	}
+}

@@ -1,0 +1,3 @@
+module mrl
+
+go 1.22

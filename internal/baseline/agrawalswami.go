@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AgrawalSwami is a one-pass adjustable equi-depth histogram in the spirit
+// of Agrawal and Swami [17]: bucket boundaries are seeded from an initial
+// prefix of the stream and adjusted on the fly whenever the buckets drift
+// out of balance (an overfull bucket is split, the cheapest adjacent pair
+// is merged). Memory is constant; like P-squared it offers no a-priori
+// error guarantee, which is exactly the gap the MRL paper fills.
+type AgrawalSwami struct {
+	buckets int
+	seed    []float64 // initial prefix, until boundaries exist
+	bounds  []float64 // len buckets+1, ascending
+	counts  []int64   // len buckets
+	count   int64
+}
+
+// NewAgrawalSwami returns a histogram estimator with the given number of
+// buckets (minimum 2). The boundary seed uses the first 8*buckets values.
+func NewAgrawalSwami(buckets int) (*AgrawalSwami, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 buckets, got %d", buckets)
+	}
+	return &AgrawalSwami{
+		buckets: buckets,
+		seed:    make([]float64, 0, 8*buckets),
+	}, nil
+}
+
+// Count returns the number of observations consumed.
+func (h *AgrawalSwami) Count() int64 { return h.count }
+
+// Add consumes one observation.
+func (h *AgrawalSwami) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("baseline: NaN observation")
+	}
+	h.count++
+	if h.bounds == nil {
+		h.seed = append(h.seed, v)
+		if len(h.seed) == cap(h.seed) {
+			h.initialize()
+		}
+		return nil
+	}
+	i := h.locate(v)
+	h.counts[i]++
+	if v < h.bounds[0] {
+		h.bounds[0] = v
+	}
+	if v > h.bounds[h.buckets] {
+		h.bounds[h.buckets] = v
+	}
+	h.rebalance(i)
+	return nil
+}
+
+// initialize seeds equi-depth boundaries from the buffered prefix.
+func (h *AgrawalSwami) initialize() {
+	sort.Float64s(h.seed)
+	n := len(h.seed)
+	h.bounds = make([]float64, h.buckets+1)
+	h.counts = make([]int64, h.buckets)
+	h.bounds[0] = h.seed[0]
+	h.bounds[h.buckets] = h.seed[n-1]
+	for i := 1; i < h.buckets; i++ {
+		pos := i * n / h.buckets
+		if pos >= n {
+			pos = n - 1
+		}
+		h.bounds[i] = h.seed[pos]
+	}
+	per := int64(n / h.buckets)
+	rem := int64(n % h.buckets)
+	for i := range h.counts {
+		h.counts[i] = per
+		if int64(i) < rem {
+			h.counts[i]++
+		}
+	}
+	h.seed = nil
+}
+
+// locate returns the bucket index for v.
+func (h *AgrawalSwami) locate(v float64) int {
+	// bounds[i] <= bucket i < bounds[i+1]; the last bucket is closed.
+	i := sort.SearchFloat64s(h.bounds[1:h.buckets], v)
+	if i == h.buckets {
+		i = h.buckets - 1
+	}
+	return i
+}
+
+// rebalance splits bucket i when it exceeds twice the average depth,
+// merging the lightest adjacent pair elsewhere to keep the bucket count.
+func (h *AgrawalSwami) rebalance(i int) {
+	avg := float64(h.count) / float64(h.buckets)
+	if float64(h.counts[i]) <= 2*avg || h.counts[i] < 4 {
+		return
+	}
+	// Find the lightest adjacent pair, excluding the overfull bucket.
+	best, bestSum := -1, int64(math.MaxInt64)
+	for j := 0; j+1 < h.buckets; j++ {
+		if j == i || j+1 == i {
+			continue
+		}
+		if s := h.counts[j] + h.counts[j+1]; s < bestSum {
+			best, bestSum = j, s
+		}
+	}
+	if best == -1 {
+		return
+	}
+	// Split bucket i at its interpolated midpoint...
+	mid := (h.bounds[i] + h.bounds[i+1]) / 2
+	half := h.counts[i] / 2
+	// ...and merge buckets best and best+1. Rebuild the slices; buckets is
+	// small, so O(buckets) per adjustment is fine.
+	nb := make([]float64, 0, h.buckets+1)
+	nc := make([]int64, 0, h.buckets)
+	for j := 0; j < h.buckets; j++ {
+		switch {
+		case j == best:
+			nb = append(nb, h.bounds[j])
+			nc = append(nc, h.counts[j]+h.counts[j+1])
+		case j == best+1:
+			// absorbed into previous
+		case j == i:
+			nb = append(nb, h.bounds[j], mid)
+			nc = append(nc, half, h.counts[i]-half)
+		default:
+			nb = append(nb, h.bounds[j])
+			nc = append(nc, h.counts[j])
+		}
+	}
+	nb = append(nb, h.bounds[h.buckets])
+	h.bounds = nb
+	h.counts = nc
+}
+
+// Quantiles interpolates the requested quantiles from the histogram.
+func (h *AgrawalSwami) Quantiles(phis []float64) ([]float64, error) {
+	if h.count == 0 {
+		return nil, errors.New("baseline: no data")
+	}
+	out := make([]float64, len(phis))
+	if h.bounds == nil {
+		// Still inside the seed prefix: answer exactly.
+		s := append([]float64(nil), h.seed...)
+		sort.Float64s(s)
+		for i, phi := range phis {
+			if phi < 0 || phi > 1 || math.IsNaN(phi) {
+				return nil, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+			}
+			r := int(math.Ceil(phi * float64(len(s))))
+			if r < 1 {
+				r = 1
+			}
+			out[i] = s[r-1]
+		}
+		return out, nil
+	}
+	for i, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+		}
+		target := phi * float64(h.count)
+		cum := 0.0
+		out[i] = h.bounds[len(h.bounds)-1]
+		for j, c := range h.counts {
+			next := cum + float64(c)
+			if target <= next || j == len(h.counts)-1 {
+				frac := 0.0
+				if c > 0 {
+					frac = (target - cum) / float64(c)
+				}
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+				out[i] = h.bounds[j] + frac*(h.bounds[j+1]-h.bounds[j])
+				break
+			}
+			cum = next
+		}
+	}
+	return out, nil
+}

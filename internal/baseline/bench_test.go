@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrl/internal/stream"
+)
+
+func BenchmarkP2Add(b *testing.B) {
+	p, err := NewP2(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Add(data[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+}
+
+func BenchmarkAgrawalSwamiAdd(b *testing.B) {
+	h, err := NewAgrawalSwami(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Add(data[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+}
+
+func BenchmarkNaiveSampleAdd(b *testing.B) {
+	e, err := NewNaiveSample(4096, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Add(data[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+}
+
+func BenchmarkQuickSelectMedian(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	orig := make([]float64, 1<<16)
+	for i := range orig {
+		orig[i] = r.Float64()
+	}
+	work := make([]float64, len(orig))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, orig)
+		if _, err := QuickSelect(work, len(work)/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8 * int64(len(orig)))
+}
+
+// BenchmarkSelectMultipass reports the pass count of exact external
+// selection under different memory budgets (the Munro-Paterson memory/pass
+// tradeoff).
+func BenchmarkSelectMultipass(b *testing.B) {
+	src := stream.Shuffled(1<<17, 6)
+	for _, budget := range []int{512, 4096, 32768} {
+		b.Run(byBudget(budget), func(b *testing.B) {
+			passes := 0
+			for i := 0; i < b.N; i++ {
+				res, err := SelectMultipass(src, 0.5, budget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				passes = res.Passes
+			}
+			b.SetBytes(8 << 17)
+			b.ReportMetric(float64(passes), "passes")
+		})
+	}
+}
+
+func byBudget(n int) string {
+	switch {
+	case n >= 1024:
+		return "budget=" + itoa(n/1024) + "K"
+	default:
+		return "budget=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,19 @@
+// Package baseline implements the antecedent algorithms the MRL paper
+// compares against or builds upon (Section 2):
+//
+//   - Exact: the in-memory oracle (buffer everything, sort once), plus an
+//     in-place quickselect for single ranks.
+//   - P2: the Jain-Chlamtac P-squared algorithm [16], constant memory, no
+//     a-priori error guarantee.
+//   - AgrawalSwami: a one-pass adjustable equi-depth histogram in the
+//     spirit of [17], constant memory, no a-priori error guarantee.
+//   - NaiveSample: the randomized naive algorithm of Section 2.1 — answer
+//     from a uniform reservoir sample.
+//   - SelectMultipass: exact selection of disk-resident data under a fixed
+//     memory budget via iterative range narrowing, the multi-pass regime of
+//     Munro and Paterson [15] with the paper's one-pass sketch used as the
+//     bracketing tool.
+//
+// All streaming baselines implement the same Add/Quantiles shape as the
+// core sketch, so internal/validate can score them side by side.
+package baseline

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Exact buffers the entire input and answers quantiles from a sorted copy:
+// the oracle every approximation is scored against. Memory is O(N).
+type Exact struct {
+	data   []float64
+	sorted bool
+}
+
+// NewExact returns an empty oracle.
+func NewExact() *Exact { return &Exact{} }
+
+// Add consumes one element.
+func (e *Exact) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("baseline: NaN has no rank")
+	}
+	e.data = append(e.data, v)
+	e.sorted = false
+	return nil
+}
+
+// Count returns the number of elements consumed.
+func (e *Exact) Count() int64 { return int64(len(e.data)) }
+
+func (e *Exact) ensureSorted() {
+	if !e.sorted {
+		sort.Float64s(e.data)
+		e.sorted = true
+	}
+}
+
+// Quantiles returns the exact phi-quantiles (elements at ranks
+// ceil(phi*N)).
+func (e *Exact) Quantiles(phis []float64) ([]float64, error) {
+	if len(e.data) == 0 {
+		return nil, errors.New("baseline: no data")
+	}
+	e.ensureSorted()
+	out := make([]float64, len(phis))
+	for i, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+		}
+		r := int(math.Ceil(phi * float64(len(e.data))))
+		if r < 1 {
+			r = 1
+		}
+		if r > len(e.data) {
+			r = len(e.data)
+		}
+		out[i] = e.data[r-1]
+	}
+	return out, nil
+}
+
+// Quantile is the single-phi form of Quantiles.
+func (e *Exact) Quantile(phi float64) (float64, error) {
+	vs, err := e.Quantiles([]float64{phi})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return vs[0], nil
+}
+
+// Rank returns the number of elements less than or equal to v.
+func (e *Exact) Rank(v float64) int64 {
+	e.ensureSorted()
+	return int64(sort.Search(len(e.data), func(i int) bool { return e.data[i] > v }))
+}
+
+// QuickSelect returns the element that would be at index k (0-based) of the
+// sorted slice, partially reordering data in place, in expected O(n) time.
+// It is the comparison-count baseline of the Section 2.1 discussion.
+func QuickSelect(data []float64, k int) (float64, error) {
+	if k < 0 || k >= len(data) {
+		return math.NaN(), fmt.Errorf("baseline: index %d outside [0,%d)", k, len(data))
+	}
+	lo, hi := 0, len(data)-1
+	for lo < hi {
+		p := partition(data, lo, hi)
+		switch {
+		case k == p:
+			return data[k], nil
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return data[k], nil
+}
+
+// partition uses a median-of-three pivot and returns its final index.
+func partition(data []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if data[mid] < data[lo] {
+		data[mid], data[lo] = data[lo], data[mid]
+	}
+	if data[hi] < data[lo] {
+		data[hi], data[lo] = data[lo], data[hi]
+	}
+	if data[hi] < data[mid] {
+		data[hi], data[mid] = data[mid], data[hi]
+	}
+	pivot := data[mid]
+	data[mid], data[hi-1] = data[hi-1], data[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if data[j] < pivot {
+			data[i], data[j] = data[j], data[i]
+			i++
+		}
+	}
+	data[i], data[hi-1] = data[hi-1], data[i]
+	return i
+}

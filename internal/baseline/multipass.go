@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+// MultipassResult reports an exact selection and the work it took.
+type MultipassResult struct {
+	Value  float64
+	Passes int
+}
+
+// maxPasses bounds the range-narrowing loop; Munro-Paterson theory needs
+// O(log N / log(memory)) passes, so anything near this limit indicates a
+// memory budget too small to make progress.
+const maxPasses = 64
+
+// SelectMultipass computes the exact phi-quantile of a replayable stream
+// using at most memBudget elements of working memory, making multiple
+// passes: the Munro-Paterson [15] multi-pass regime, with the paper's
+// one-pass sketch used as the per-pass bracketing tool. Each pass either
+// finishes (the surviving candidates fit in memory) or narrows the value
+// bracket around the target rank using the sketch's a-posteriori error
+// bound, which is what makes the narrowing provably safe.
+func SelectMultipass(src stream.Source, phi float64, memBudget int) (MultipassResult, error) {
+	if src == nil {
+		return MultipassResult{}, errors.New("baseline: nil source")
+	}
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		return MultipassResult{}, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+	}
+	if memBudget < 16 {
+		return MultipassResult{}, fmt.Errorf("baseline: memory budget %d too small (min 16)", memBudget)
+	}
+	n := src.Len()
+	if n < 1 {
+		return MultipassResult{}, errors.New("baseline: empty source")
+	}
+	target := int64(math.Ceil(phi * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+
+	lo, hi := math.Inf(-1), math.Inf(1) // inclusive candidate bracket
+	passes := 0
+	for {
+		passes++
+		if passes > maxPasses {
+			return MultipassResult{}, fmt.Errorf("baseline: no convergence in %d passes; memory budget %d too small", maxPasses, memBudget)
+		}
+		src.Reset()
+
+		// One pass: count elements below the bracket, feed in-bracket
+		// elements to a sketch, and optimistically collect them in case
+		// they fit within budget.
+		b := 8
+		k := memBudget / b
+		if k < 1 {
+			b, k = 2, memBudget/2
+		}
+		sk, err := core.NewSketch(b, k, core.PolicyNew)
+		if err != nil {
+			return MultipassResult{}, err
+		}
+		var below, inside, eqLo, eqHi int64
+		buf := make([]float64, 0, memBudget)
+		overflow := false
+		err = stream.Each(src, func(v float64) error {
+			switch {
+			case v < lo:
+				below++
+			case v > hi:
+				// above the bracket: irrelevant
+			default:
+				inside++
+				if v == lo {
+					eqLo++
+				}
+				if v == hi {
+					eqHi++
+				}
+				if !overflow {
+					if len(buf) < memBudget {
+						buf = append(buf, v)
+					} else {
+						overflow = true
+						buf = nil
+					}
+				}
+				return sk.Add(v)
+			}
+			return nil
+		})
+		if err != nil {
+			return MultipassResult{}, err
+		}
+		rank := target - below // rank of the target within the bracket
+		if rank < 1 || rank > inside {
+			return MultipassResult{}, fmt.Errorf("baseline: bracket lost the target (rank %d of %d)", rank, inside)
+		}
+		if !overflow {
+			sort.Float64s(buf)
+			return MultipassResult{Value: buf[rank-1], Passes: passes}, nil
+		}
+		// Duplicate-heavy shortcuts: if the target rank falls inside the
+		// run of bracket-boundary duplicates, the answer is that boundary.
+		if rank <= eqLo {
+			return MultipassResult{Value: lo, Passes: passes}, nil
+		}
+		if rank > inside-eqHi {
+			return MultipassResult{Value: hi, Passes: passes}, nil
+		}
+
+		// Narrow the bracket using the sketch's live error bound. The true
+		// rank-`rank` element lies between the sketch quantiles at ranks
+		// rank -/+ (bound+1), by Lemma 5.
+		bound := int64(math.Ceil(sk.ErrorBound())) + 1
+		if 2*bound >= inside {
+			return MultipassResult{}, fmt.Errorf("baseline: memory budget %d cannot narrow %d candidates", memBudget, inside)
+		}
+		phiLo := float64(rank-bound) / float64(inside)
+		phiHi := float64(rank+bound) / float64(inside)
+		if phiLo < 0 {
+			phiLo = 0
+		}
+		if phiHi > 1 {
+			phiHi = 1
+		}
+		qs, err := sk.Quantiles([]float64{phiLo, phiHi})
+		if err != nil {
+			return MultipassResult{}, err
+		}
+		newLo, newHi := qs[0], qs[1]
+		if newLo == lo && newHi == hi {
+			// Heavy duplication can stall the bracket; if the bracket is a
+			// single value, that value is the answer.
+			if newLo == newHi {
+				return MultipassResult{Value: newLo, Passes: passes}, nil
+			}
+			return MultipassResult{}, fmt.Errorf("baseline: bracket stalled at [%v, %v]", lo, hi)
+		}
+		lo, hi = newLo, newHi
+	}
+}

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mrl/internal/sampling"
+)
+
+// NaiveSample is the randomized naive algorithm of Section 2.1: keep a
+// uniform reservoir sample and answer quantiles from the sorted sample.
+// With a sample of size O(eps^-2 log(1/delta)) the answers are
+// epsilon-approximate with probability 1-delta, using a number of
+// comparisons independent of N — but unlike the sampled MRL coupling it
+// spends memory linear in the full sample.
+type NaiveSample struct {
+	res   *sampling.Reservoir
+	count int64
+}
+
+// NewNaiveSample returns a reservoir-backed estimator with the given sample
+// size.
+func NewNaiveSample(sampleSize int, rng *rand.Rand) (*NaiveSample, error) {
+	res, err := sampling.NewReservoir(sampleSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &NaiveSample{res: res}, nil
+}
+
+// Add consumes one observation.
+func (e *NaiveSample) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("baseline: NaN observation")
+	}
+	e.res.Add(v)
+	e.count++
+	return nil
+}
+
+// Count returns the number of observations consumed.
+func (e *NaiveSample) Count() int64 { return e.count }
+
+// Quantiles answers from the sorted sample.
+func (e *NaiveSample) Quantiles(phis []float64) ([]float64, error) {
+	if e.count == 0 {
+		return nil, errors.New("baseline: no data")
+	}
+	s := e.res.Sample()
+	out := make([]float64, len(phis))
+	for i, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+		}
+		r := int(math.Ceil(phi * float64(len(s))))
+		if r < 1 {
+			r = 1
+		}
+		if r > len(s) {
+			r = len(s)
+		}
+		out[i] = s[r-1]
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2 is the Jain-Chlamtac P-squared algorithm [16]: a constant-memory
+// single-quantile estimator that maintains five markers and adjusts their
+// heights by piecewise-parabolic interpolation. It is the Section 2.2
+// antecedent with no a-priori error guarantee — its estimates interpolate
+// and need not be elements of the input.
+type P2 struct {
+	p       float64
+	q       [5]float64 // marker heights
+	n       [5]float64 // marker positions (1-based)
+	np      [5]float64 // desired marker positions
+	dn      [5]float64 // desired position increments
+	count   int64
+	initial []float64 // first five observations
+}
+
+// NewP2 returns a P-squared estimator for the phi-quantile, phi in (0, 1).
+func NewP2(phi float64) (*P2, error) {
+	if !(phi > 0 && phi < 1) {
+		return nil, fmt.Errorf("baseline: p2 quantile %v outside (0,1)", phi)
+	}
+	return &P2{
+		p:       phi,
+		dn:      [5]float64{0, phi / 2, phi, (1 + phi) / 2, 1},
+		initial: make([]float64, 0, 5),
+	}, nil
+}
+
+// Count returns the number of observations consumed.
+func (e *P2) Count() int64 { return e.count }
+
+// Add consumes one observation.
+func (e *P2) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("baseline: NaN observation")
+	}
+	e.count++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, v)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.initial[i]
+				e.n[i] = float64(i + 1)
+			}
+			e.np = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return nil
+	}
+
+	// Locate the cell containing v and update the extreme markers.
+	var k int
+	switch {
+	case v < e.q[0]:
+		e.q[0] = v
+		k = 0
+	case v >= e.q[4]:
+		e.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust the interior markers.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+	return nil
+}
+
+// parabolic is the P^2 (piecewise-parabolic) height prediction for marker i
+// moved by d (+1 or -1).
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Estimate returns the current quantile estimate.
+func (e *P2) Estimate() (float64, error) {
+	if e.count == 0 {
+		return math.NaN(), errors.New("baseline: no data")
+	}
+	if len(e.initial) < 5 {
+		// Fewer than five observations: answer exactly from the buffer.
+		s := append([]float64(nil), e.initial...)
+		sort.Float64s(s)
+		r := int(math.Ceil(e.p * float64(len(s))))
+		if r < 1 {
+			r = 1
+		}
+		return s[r-1], nil
+	}
+	return e.q[2], nil
+}
+
+// P2Set answers several quantiles by running one independent P2 instance
+// per fraction; memory stays constant per quantile.
+type P2Set struct {
+	phis      []float64
+	instances []*P2
+	min, max  float64
+	count     int64
+}
+
+// NewP2Set returns a set of P-squared estimators for the given fractions.
+// Fractions 0 and 1 are answered by exact min/max tracking.
+func NewP2Set(phis []float64) (*P2Set, error) {
+	s := &P2Set{
+		phis:      append([]float64(nil), phis...),
+		instances: make([]*P2, len(phis)),
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+	}
+	for i, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("baseline: phi %v outside [0,1]", phi)
+		}
+		if phi == 0 || phi == 1 {
+			continue // handled by min/max
+		}
+		inst, err := NewP2(phi)
+		if err != nil {
+			return nil, err
+		}
+		s.instances[i] = inst
+	}
+	return s, nil
+}
+
+// Add consumes one observation into every instance.
+func (s *P2Set) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("baseline: NaN observation")
+	}
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	for _, inst := range s.instances {
+		if inst != nil {
+			if err := inst.Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of observations consumed.
+func (s *P2Set) Count() int64 { return s.count }
+
+// Quantiles answers the fractions the set was constructed for. phis must
+// equal the construction fractions.
+func (s *P2Set) Quantiles(phis []float64) ([]float64, error) {
+	if s.count == 0 {
+		return nil, errors.New("baseline: no data")
+	}
+	if len(phis) != len(s.phis) {
+		return nil, fmt.Errorf("baseline: p2 set built for %d quantiles, asked %d", len(s.phis), len(phis))
+	}
+	out := make([]float64, len(phis))
+	for i, phi := range phis {
+		if phi != s.phis[i] {
+			return nil, fmt.Errorf("baseline: p2 set built for phi=%v at %d, asked %v", s.phis[i], i, phi)
+		}
+		switch {
+		case phi == 0:
+			out[i] = s.min
+		case phi == 1:
+			out[i] = s.max
+		default:
+			v, err := s.instances[i].Estimate()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}

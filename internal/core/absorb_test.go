@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsorbBasic(t *testing.T) {
+	for _, p := range Policies {
+		a := mustSketch(t, 4, 8, p)
+		b := mustSketch(t, 4, 8, p)
+		addAll(t, a, permutation(1000, 71)) // values 1..1000 shuffled
+		// b gets values 1001..2000 in a strided order.
+		rest := make([]float64, 1000)
+		for i := range rest {
+			rest[i] = float64(1001 + (i*7)%1000)
+		}
+		addAll(t, b, rest)
+		if err := a.Absorb(b); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if a.Count() != 2000 {
+			t.Fatalf("%v: count = %d", p, a.Count())
+		}
+		bound := a.ErrorBound()
+		med, err := a.Quantile(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(med-1000) > bound+1 {
+			t.Errorf("%v: merged median %v off by more than bound %v", p, med, bound)
+		}
+		lo, _ := a.Quantile(0)
+		hi, _ := a.Quantile(1)
+		if lo != 1 || hi != 2000 {
+			t.Errorf("%v: merged extremes %v, %v", p, lo, hi)
+		}
+		// b must be untouched.
+		if b.Count() != 1000 {
+			t.Errorf("%v: absorbed sketch mutated (count %d)", p, b.Count())
+		}
+		if _, err := b.Quantile(0.5); err != nil {
+			t.Errorf("%v: absorbed sketch unusable: %v", p, err)
+		}
+	}
+}
+
+func TestAbsorbValidation(t *testing.T) {
+	a := mustSketch(t, 4, 8, PolicyNew)
+	if err := a.Absorb(nil); err != nil {
+		t.Fatal("nil absorb should be a no-op")
+	}
+	if err := a.Absorb(a); err != nil {
+		t.Fatal("self-absorb of an empty sketch should be a no-op (count 0)")
+	}
+	addAll(t, a, []float64{1})
+	if err := a.Absorb(a); err == nil {
+		t.Fatal("self-absorb accepted")
+	}
+	diffGeom := mustSketch(t, 4, 16, PolicyNew)
+	addAll(t, diffGeom, []float64{1})
+	if err := a.Absorb(diffGeom); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	diffPol := mustSketch(t, 4, 8, PolicyARS)
+	addAll(t, diffPol, []float64{1})
+	if err := a.Absorb(diffPol); err == nil {
+		t.Fatal("policy mismatch accepted")
+	}
+}
+
+func TestAbsorbIntoEmpty(t *testing.T) {
+	a := mustSketch(t, 3, 4, PolicyNew)
+	b := mustSketch(t, 3, 4, PolicyNew)
+	addAll(t, b, permutation(100, 72))
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 100 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	av, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := b.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av != bv {
+		t.Fatalf("absorb into empty changed the median: %v vs %v", av, bv)
+	}
+	if lo, _ := a.Quantile(0); lo != 1 {
+		t.Fatalf("extremes not copied: min %v", lo)
+	}
+}
+
+func TestAbsorbPartialBuffers(t *testing.T) {
+	a := mustSketch(t, 3, 4, PolicyNew)
+	b := mustSketch(t, 3, 4, PolicyNew)
+	addAll(t, a, []float64{1, 2, 3})    // partial fill in a
+	addAll(t, b, []float64{4, 5, 6, 7}) // one full leaf
+	addAll(t, b, []float64{8, 9})       // plus a partial
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 9 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	// Everything still fits in buffers, so answers are exact.
+	med, err := a.Quantile(0.5)
+	if err != nil || med != 5 {
+		t.Fatalf("median = %v, %v; want exact 5", med, err)
+	}
+}
+
+// TestAbsorbKeepsStreaming: after a merge the sketch must keep accepting
+// input under its policy with the certificate intact.
+func TestAbsorbKeepsStreaming(t *testing.T) {
+	a := mustSketch(t, 4, 16, PolicyNew)
+	b := mustSketch(t, 4, 16, PolicyNew)
+	data := permutation(6000, 73)
+	addAll(t, a, data[:2000])
+	addAll(t, b, data[2000:4000])
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, a, data[4000:])
+	bound := a.ErrorBound()
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, err := a.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Ceil(phi * 6000)
+		if diff := math.Abs(got - want); diff > bound+1 {
+			t.Errorf("phi=%v: error %v exceeds post-merge bound %v", phi, diff, bound)
+		}
+	}
+}
+
+// TestPropertyAbsorbWithinBound: random splits of a permutation across two
+// (or three) sketches, merged in random order, always stay within the
+// merged certificate.
+func TestPropertyAbsorbWithinBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bN := 2 + r.Intn(4)
+		k := 2 + r.Intn(16)
+		n := 10 + r.Intn(4000)
+		policy := Policies[r.Intn(len(Policies))]
+		parts := 2 + r.Intn(2)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i + 1)
+		}
+		r.Shuffle(n, func(i, j int) { data[i], data[j] = data[j], data[i] })
+		sketches := make([]*Sketch, parts)
+		for i := range sketches {
+			sk, err := NewSketch(bN, k, policy)
+			if err != nil {
+				return false
+			}
+			lo, hi := i*n/parts, (i+1)*n/parts
+			if sk.AddSlice(data[lo:hi]) != nil {
+				return false
+			}
+			sketches[i] = sk
+		}
+		root := sketches[0]
+		for _, sk := range sketches[1:] {
+			if err := root.Absorb(sk); err != nil {
+				return false
+			}
+		}
+		if root.Count() != int64(n) {
+			return false
+		}
+		bound := root.ErrorBound()
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			got, err := root.Quantile(phi)
+			if err != nil {
+				return false
+			}
+			want := math.Ceil(phi * float64(n))
+			if want < 1 {
+				want = 1
+			}
+			if math.Abs(got-want) > bound+1 {
+				t.Logf("seed=%d %v b=%d k=%d n=%d parts=%d phi=%v: got %v want %v bound %v",
+					seed, policy, bN, k, n, parts, phi, got, want, bound)
+				return false
+			}
+		}
+		// Lemma 1 must also hold for the merged tree.
+		st := root.Stats()
+		return st.Collapses == 0 || 2*st.OffsetSum >= st.WeightSum+st.Collapses-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbsorbThenSerialize: a merged sketch round-trips through the binary
+// encoding with its certificate (including the merge slack) intact.
+func TestAbsorbThenSerialize(t *testing.T) {
+	a := mustSketch(t, 4, 8, PolicyNew)
+	b := mustSketch(t, 4, 8, PolicyNew)
+	addAll(t, a, permutation(500, 81))
+	addAll(t, b, permutation(500, 82))
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Absorbs != 1 {
+		t.Fatalf("Absorbs = %d", a.Stats().Absorbs)
+	}
+	restored := roundTrip(t, a)
+	if restored.Stats() != a.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", restored.Stats(), a.Stats())
+	}
+	if restored.ErrorBound() != a.ErrorBound() {
+		t.Fatalf("bound mismatch: %v vs %v", restored.ErrorBound(), a.ErrorBound())
+	}
+	av, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := restored.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av != rv {
+		t.Fatalf("median mismatch: %v vs %v", av, rv)
+	}
+}

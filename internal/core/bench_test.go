@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchData(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	return data
+}
+
+// BenchmarkAdd measures per-element ingest cost across policies and buffer
+// sizes; amortised collapse work dominates at small k.
+func BenchmarkAdd(b *testing.B) {
+	data := benchData(1<<16, 1)
+	for _, p := range Policies {
+		for _, cfg := range []struct{ bN, k int }{{5, 64}, {10, 596}, {5, 4096}} {
+			b.Run(fmt.Sprintf("%s/b=%d/k=%d", p, cfg.bN, cfg.k), func(b *testing.B) {
+				s, err := NewSketch(cfg.bN, cfg.k, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Add(data[i&(1<<16-1)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(8)
+			})
+		}
+	}
+}
+
+// BenchmarkQuantiles measures query cost (a full weighted merge over the
+// surviving buffers) as a function of the number of requested quantiles.
+func BenchmarkQuantiles(b *testing.B) {
+	s, err := NewSketch(10, 596, PolicyNew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1<<20, 2) {
+		if err := s.Add(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, q := range []int{1, 15, 100} {
+		phis := make([]float64, q)
+		for i := range phis {
+			phis[i] = float64(i+1) / float64(q+1)
+		}
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Quantiles(phis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRank measures the cost of a rank/CDF probe.
+func BenchmarkRank(b *testing.B) {
+	s, err := NewSketch(10, 596, PolicyNew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1<<20, 3) {
+		if err := s.Add(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Rank(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectInMerge measures the counter-based weighted selection that
+// underlies both COLLAPSE and OUTPUT.
+func BenchmarkSelectInMerge(b *testing.B) {
+	for _, c := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("buffers=%d", c), func(b *testing.B) {
+			const k = 1024
+			bufs := make([]Weighted, c)
+			r := rand.New(rand.NewSource(4))
+			for i := range bufs {
+				data := make([]float64, k)
+				for j := range data {
+					data[j] = r.Float64()
+				}
+				sort.Float64s(data)
+				bufs[i] = Weighted{Data: data, Weight: int64(i + 1)}
+			}
+			targets := make([]int64, k)
+			total := TotalWeight(bufs)
+			for j := range targets {
+				targets[j] = int64(j)*total/int64(k) + 1
+			}
+			out := make([]float64, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				selectInMerge(bufs, targets, out)
+			}
+			b.SetBytes(int64(8 * c * k))
+		})
+	}
+}
+
+// BenchmarkMarshal measures sketch serialisation round trips.
+func BenchmarkMarshal(b *testing.B) {
+	s, err := NewSketch(10, 596, PolicyNew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1<<18, 5) {
+		if err := s.Add(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(data)))
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var r Sketch
+			if err := r.UnmarshalBinary(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(data)))
+	})
+}

@@ -1,0 +1,209 @@
+package core
+
+import "math"
+
+// buffer is one of the b physical buffers of the framework. While full, its
+// data is sorted ascending and every element stands for weight input
+// elements. A buffer that is neither full nor being filled is empty and its
+// data slice has length zero.
+type buffer struct {
+	data   []float64
+	weight int64
+	level  int
+	full   bool
+}
+
+func newBuffer(k int) *buffer {
+	return &buffer{data: make([]float64, 0, k)}
+}
+
+func (b *buffer) reset() {
+	b.data = b.data[:0]
+	b.weight = 0
+	b.level = 0
+	b.full = false
+}
+
+// Weighted pairs a sorted run of elements with the number of input elements
+// each entry represents. It is the exchange format for OUTPUT-style
+// selections across sketches (e.g. the parallel root-combination phase of
+// Section 4.9).
+type Weighted struct {
+	Data   []float64
+	Weight int64
+}
+
+// TotalWeight returns the weighted length of the merge of bufs, i.e. the
+// number of (virtual) copies the paper's COLLAPSE and OUTPUT operators sort.
+func TotalWeight(bufs []Weighted) int64 {
+	var t int64
+	for _, b := range bufs {
+		t += b.Weight * int64(len(b.Data))
+	}
+	return t
+}
+
+// SelectInMerge returns the elements at the given 1-based positions of the
+// weighted merge of bufs, without materialising the duplicate copies: while
+// merging, a counter advances by the weight of the source buffer of each
+// selected element, exactly as described in Section 3.2 of the paper.
+//
+// Each buffer's Data must be sorted ascending and targets must be sorted
+// ascending. Positions beyond the total weighted length are clamped to the
+// last element; positions below 1 are clamped to the first. The result is
+// parallel to targets.
+func SelectInMerge(bufs []Weighted, targets []int64) []float64 {
+	out := make([]float64, len(targets))
+	selectInMerge(bufs, targets, out)
+	return out
+}
+
+// mergeHeapThreshold is the buffer count above which selectInMerge switches
+// from a linear head scan (O(c) per element, cache friendly, fastest for
+// the small c of the Munro-Paterson and new policies) to a binary min-heap
+// (O(log c) per element — the Alsabti-Ranka-Singh policy collapses c = b/2
+// buffers, which reaches the thousands at realistic Table 1 geometries).
+const mergeHeapThreshold = 8
+
+// selectInMerge is the allocation-light core of SelectInMerge. out must
+// have the same length as targets.
+func selectInMerge(bufs []Weighted, targets []int64, out []float64) {
+	if len(targets) == 0 {
+		return
+	}
+	if len(bufs) > mergeHeapThreshold {
+		selectInMergeHeap(bufs, targets, out)
+		return
+	}
+	heads := make([]int, len(bufs))
+	var pos int64
+	ti := 0
+	clampLowTargets(targets)
+	last := math.Inf(-1)
+	haveLast := false
+	for ti < len(targets) {
+		// Pick the smallest head among non-exhausted buffers; ties break
+		// toward the lowest buffer index for determinism.
+		best := -1
+		bestV := math.Inf(1)
+		for i, b := range bufs {
+			if heads[i] >= len(b.Data) {
+				continue
+			}
+			if v := b.Data[heads[i]]; best == -1 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		if best == -1 {
+			// Merge exhausted before all targets were reached: clamp the
+			// remainder to the largest element seen.
+			for ; ti < len(targets); ti++ {
+				if haveLast {
+					out[ti] = last
+				} else {
+					out[ti] = math.NaN()
+				}
+			}
+			return
+		}
+		heads[best]++
+		pos += bufs[best].Weight
+		last, haveLast = bestV, true
+		for ti < len(targets) && targets[ti] <= pos {
+			out[ti] = bestV
+			ti++
+		}
+	}
+}
+
+// clampLowTargets raises leading sub-1 positions to 1 so the merge loops
+// can assume 1-based targets (targets are sorted ascending).
+func clampLowTargets(targets []int64) {
+	for i := range targets {
+		if targets[i] >= 1 {
+			return
+		}
+		targets[i] = 1
+	}
+}
+
+// mergeHead is a heap entry: the current front element of one buffer.
+// Ordering is (value, buffer index), matching the linear scan's
+// lowest-index tie-break so both paths produce identical selections.
+type mergeHead struct {
+	v   float64
+	buf int
+}
+
+func headLess(a, b mergeHead) bool {
+	return a.v < b.v || (a.v == b.v && a.buf < b.buf)
+}
+
+// selectInMergeHeap is the wide-merge variant of selectInMerge: a binary
+// min-heap over the buffer fronts.
+func selectInMergeHeap(bufs []Weighted, targets []int64, out []float64) {
+	heads := make([]int, len(bufs))
+	h := make([]mergeHead, 0, len(bufs))
+	for i, b := range bufs {
+		if len(b.Data) > 0 {
+			h = append(h, mergeHead{v: b.Data[0], buf: i})
+			heads[i] = 1
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+
+	ti := 0
+	clampLowTargets(targets)
+	var pos int64
+	last := math.Inf(-1)
+	haveLast := false
+	for ti < len(targets) {
+		if len(h) == 0 {
+			for ; ti < len(targets); ti++ {
+				if haveLast {
+					out[ti] = last
+				} else {
+					out[ti] = math.NaN()
+				}
+			}
+			return
+		}
+		top := h[0]
+		pos += bufs[top.buf].Weight
+		last, haveLast = top.v, true
+		if hi := heads[top.buf]; hi < len(bufs[top.buf].Data) {
+			h[0] = mergeHead{v: bufs[top.buf].Data[hi], buf: top.buf}
+			heads[top.buf]++
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 1 {
+			siftDown(h, 0)
+		}
+		for ti < len(targets) && targets[ti] <= pos {
+			out[ti] = top.v
+			ti++
+		}
+	}
+}
+
+func siftDown(h []mergeHead, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && headLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && headLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

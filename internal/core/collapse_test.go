@@ -1,0 +1,116 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// handBuffer builds a full buffer directly, for hand-worked COLLAPSE
+// examples in the style of the paper's Figure 1.
+func handBuffer(data []float64, weight int64) *buffer {
+	return &buffer{data: data, weight: weight, full: true}
+}
+
+// TestCollapseHandWorkedExample reproduces a Figure 1 style COLLAPSE by
+// hand: three k=4 buffers with weights 2, 1 and 3. The weighted merge is
+//
+//	1 1 2 3 3 3 4 4 5 6 6 6 7 7 8 9 9 9 10 10 11 12 12 12
+//	positions 1..24, w(Y) = 6
+//
+// With the high even offset (w+2)/2 = 4 the selected positions are
+// 4, 10, 16, 22 -> elements 3, 6, 9, 12.
+func TestCollapseHandWorkedExample(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	x1 := handBuffer([]float64{1, 4, 7, 10}, 2)
+	x2 := handBuffer([]float64{2, 5, 8, 11}, 1)
+	x3 := handBuffer([]float64{3, 6, 9, 12}, 3)
+	out := s.collapse([]*buffer{x1, x2, x3}, 1)
+	if want := []float64{3, 6, 9, 12}; !reflect.DeepEqual(out.data, want) {
+		t.Fatalf("collapse output = %v, want %v", out.data, want)
+	}
+	if out.weight != 6 || out.level != 1 || !out.full {
+		t.Fatalf("output buffer meta = %+v", out)
+	}
+	if out != x1 {
+		t.Fatal("output must reuse the first input buffer")
+	}
+	if x2.full || x3.full || len(x2.data) != 0 || len(x3.data) != 0 {
+		t.Fatal("remaining inputs not emptied")
+	}
+	st := s.Stats()
+	if st.Collapses != 1 || st.WeightSum != 6 || st.MaxCollapseWeight != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCollapseAlternatesHandWorked: the second even-weight collapse must
+// use the low offset w/2 = 3, selecting positions 3, 9, 15, 21 ->
+// elements 2, 5, 8, 11 from the same configuration.
+func TestCollapseAlternatesHandWorked(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	// Burn the high offset on an unrelated even-weight collapse.
+	s.collapse([]*buffer{
+		handBuffer([]float64{0, 0, 0, 0}, 1),
+		handBuffer([]float64{0, 0, 0, 0}, 1),
+	}, 1)
+	out := s.collapse([]*buffer{
+		handBuffer([]float64{1, 4, 7, 10}, 2),
+		handBuffer([]float64{2, 5, 8, 11}, 1),
+		handBuffer([]float64{3, 6, 9, 12}, 3),
+	}, 1)
+	if want := []float64{2, 5, 8, 11}; !reflect.DeepEqual(out.data, want) {
+		t.Fatalf("collapse output = %v, want %v", out.data, want)
+	}
+}
+
+// TestCollapseOddWeightHandWorked: odd w(Y) uses offset (w+1)/2 with no
+// alternation. Weights 1+2 = 3, k = 3: merge of {1,3,5} (w=1) and
+// {2,4,6} (w=2) is 1 2 2 3 4 4 5 6 6 (positions 1..9); offset 2 selects
+// positions 2, 5, 8 -> 2, 4, 6.
+func TestCollapseOddWeightHandWorked(t *testing.T) {
+	s := mustSketch(t, 2, 3, PolicyNew)
+	before := s.evenHigh
+	out := s.collapse([]*buffer{
+		handBuffer([]float64{1, 3, 5}, 1),
+		handBuffer([]float64{2, 4, 6}, 2),
+	}, 1)
+	if want := []float64{2, 4, 6}; !reflect.DeepEqual(out.data, want) {
+		t.Fatalf("collapse output = %v, want %v", out.data, want)
+	}
+	if s.evenHigh != before {
+		t.Fatal("odd-weight collapse toggled the even offset state")
+	}
+}
+
+// TestCollapseDefinitelySmallCounting walks the Section 4.2 identification
+// argument on the hand-worked example: s definitely-small elements in the
+// output Y imply at least s*w(Y) - (w(Y) - offset) weighted definitely-
+// small elements among the children.
+func TestCollapseDefinitelySmallCounting(t *testing.T) {
+	// From TestCollapseHandWorkedExample: Y = {3, 6, 9, 12}, w = 6,
+	// offset = 4. Take Q = 9: Y has s = 2 definitely-small elements (3, 6).
+	// The largest of them, 6, occupies positions 10-12 of the children's
+	// weighted merge (its first copy sits at (s-1)*w + offset = 10), so the
+	// weighted count of child elements <= 6 is 12, and the Section 4.2 step
+	// guarantees at least s*w - (w - offset) = 12 - 2 = 10.
+	children := []Weighted{
+		{Data: []float64{1, 4, 7, 10}, Weight: 2},
+		{Data: []float64{2, 5, 8, 11}, Weight: 1},
+		{Data: []float64{3, 6, 9, 12}, Weight: 3},
+	}
+	var weightedSmall int64
+	for _, c := range children {
+		for _, v := range c.Data {
+			if v <= 6 {
+				weightedSmall += c.Weight
+			}
+		}
+	}
+	if weightedSmall != 12 {
+		t.Fatalf("weighted definitely-small count = %d, want 12", weightedSmall)
+	}
+	const s, w, offset = 2, 6, 4
+	if weightedSmall < s*w-(w-offset) {
+		t.Fatalf("Lemma 4 step violated: %d < %d", weightedSmall, s*w-(w-offset))
+	}
+}

@@ -1,0 +1,27 @@
+// Package core implements the uniform buffer framework of Manku,
+// Rajagopalan and Lindsay, "Approximate Medians and other Quantiles in One
+// Pass and with Limited Memory" (SIGMOD 1998).
+//
+// An algorithm instance owns b buffers of k elements each. Input is consumed
+// one element at a time by NEW operations that fill empty buffers; when the
+// configured collapsing policy decides that space must be reclaimed, a
+// COLLAPSE operation merges c >= 2 full buffers into a single buffer whose
+// weight is the sum of the input weights. A query performs the paper's
+// OUTPUT operation over the surviving full buffers: it reads the element at
+// position ceil(phi' * kW) of the weighted merge, where phi' transposes the
+// requested quantile onto the dataset augmented with the -Inf/+Inf sentinels
+// that pad the final partial buffer.
+//
+// Three collapsing policies are provided, matching Section 3.4 of the paper:
+// the Munro-Paterson binary-counter policy, the Alsabti-Ranka-Singh
+// two-level policy, and the paper's new level-based policy. All three share
+// the NEW/COLLAPSE/OUTPUT machinery and therefore inherit the Lemma 5
+// guarantee: the rank error of any reported quantile is at most
+// (W-C-1)/2 + wmax, a quantity the sketch tracks at run time and exposes
+// through ErrorBound.
+//
+// The package is deliberately low level: it works in raw (b, k) parameters
+// and float64 element values. Use package quantile for an API that sizes
+// buffers from an accuracy target, and internal/params for the paper's
+// optimizers.
+package core

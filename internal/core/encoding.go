@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layout (little endian):
+//
+//	magic "MRL1" | policy u8 | flags u8 | b u32 | k u32 | count i64 | min f64 | max f64
+//	stats: leaves, collapses, weightSum, maxCollapseWeight, fallbacks (i64)
+//	nFull u32, then per full buffer: weight i64 | level i32 | k float64
+//	fillLen u32, fillLevel i32, then fillLen float64
+//
+// flags bit 0: evenHigh; bit 1: noAlternation; bit 2: fill buffer present.
+const (
+	encMagic   = "MRL1"
+	flagEven   = 1 << 0
+	flagFrozen = 1 << 1
+	flagFill   = 1 << 2
+)
+
+// MarshalBinary serialises the complete sketch state. A restored sketch
+// continues exactly where the original stopped: same answers, same error
+// bound, same future collapse schedule. This is the wire format for
+// shipping partition summaries between nodes of a distributed plan.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(encMagic)
+	var flags byte
+	if s.evenHigh {
+		flags |= flagEven
+	}
+	if s.noAlternation {
+		flags |= flagFrozen
+	}
+	if s.fill != nil && len(s.fill.data) > 0 {
+		flags |= flagFill
+	}
+	buf.WriteByte(byte(s.policy))
+	buf.WriteByte(flags)
+	w := func(v interface{}) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(uint32(s.b))
+	w(uint32(s.k))
+	w(s.count)
+	w(s.min)
+	w(s.max)
+	w(s.stats.Leaves)
+	w(s.stats.Collapses)
+	w(s.stats.WeightSum)
+	w(s.stats.MaxCollapseWeight)
+	w(s.stats.OffsetSum)
+	w(s.stats.Absorbs)
+	w(s.stats.Fallbacks)
+
+	var full []*buffer
+	for _, b := range s.bufs {
+		if b.full {
+			full = append(full, b)
+		}
+	}
+	w(uint32(len(full)))
+	for _, b := range full {
+		w(b.weight)
+		w(int32(b.level))
+		w(b.data)
+	}
+	if flags&flagFill != 0 {
+		w(uint32(len(s.fill.data)))
+		w(int32(s.fill.level))
+		w(s.fill.data)
+	} else {
+		w(uint32(0))
+		w(int32(0))
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a sketch serialised by MarshalBinary. The
+// receiver's previous state is discarded.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != encMagic {
+		return errors.New("core: bad sketch encoding magic")
+	}
+	var polByte, flags byte
+	var err error
+	if polByte, err = r.ReadByte(); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if flags, err = r.ReadByte(); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+
+	var b32, k32 uint32
+	if err := rd(&b32); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if err := rd(&k32); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if b32 < 2 || k32 < 1 || b32 > 1<<20 || k32 > 1<<28 {
+		return fmt.Errorf("core: implausible sketch geometry b=%d k=%d", b32, k32)
+	}
+	restored, err := NewSketch(int(b32), int(k32), Policy(polByte))
+	if err != nil {
+		return err
+	}
+	restored.evenHigh = flags&flagEven != 0
+	restored.noAlternation = flags&flagFrozen != 0
+	if err := rd(&restored.count); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if err := rd(&restored.min); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if err := rd(&restored.max); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	for _, p := range []*int64{
+		&restored.stats.Leaves, &restored.stats.Collapses, &restored.stats.WeightSum,
+		&restored.stats.MaxCollapseWeight, &restored.stats.OffsetSum,
+		&restored.stats.Absorbs, &restored.stats.Fallbacks,
+	} {
+		if err := rd(p); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+	}
+	var nFull uint32
+	if err := rd(&nFull); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if nFull > b32 {
+		return fmt.Errorf("core: %d full buffers exceed b=%d", nFull, b32)
+	}
+	for i := uint32(0); i < nFull; i++ {
+		buf := restored.bufs[i]
+		var level int32
+		if err := rd(&buf.weight); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+		if err := rd(&level); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+		if buf.weight < 1 {
+			return fmt.Errorf("core: buffer weight %d invalid", buf.weight)
+		}
+		buf.level = int(level)
+		buf.data = buf.data[:k32]
+		if err := rd(buf.data); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+		for _, v := range buf.data {
+			if math.IsNaN(v) {
+				return errors.New("core: NaN in encoded buffer")
+			}
+		}
+		buf.full = true
+	}
+	var fillLen uint32
+	var fillLevel int32
+	if err := rd(&fillLen); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if err := rd(&fillLevel); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
+	if flags&flagFill != 0 {
+		if fillLen == 0 || fillLen >= k32 || nFull >= b32 {
+			return fmt.Errorf("core: invalid fill buffer length %d", fillLen)
+		}
+		fill := restored.bufs[nFull]
+		fill.level = int(fillLevel)
+		fill.data = fill.data[:fillLen]
+		if err := rd(fill.data); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+		for _, v := range fill.data {
+			if math.IsNaN(v) {
+				return errors.New("core: NaN in encoded buffer")
+			}
+		}
+		restored.fill = fill
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes in sketch encoding", r.Len())
+	}
+	*s = *restored
+	return nil
+}

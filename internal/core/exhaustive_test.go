@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestExhaustiveTinyGrid drives every (policy, b, k, n, order) combination
+// over a small grid and checks every decile against the exact answer plus
+// the live bound. Tiny geometries exercise the degenerate corners (k=1
+// single-element buffers, b=2 minimal buffer counts, cohort edge cases)
+// that random testing reaches only occasionally.
+func TestExhaustiveTinyGrid(t *testing.T) {
+	phis := []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1}
+	orders := map[string]func(n int) []float64{
+		"sorted": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = float64(i + 1)
+			}
+			return vs
+		},
+		"reversed": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = float64(n - i)
+			}
+			return vs
+		},
+		"stride": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = float64(i*7%n + 1)
+			}
+			return vs
+		},
+	}
+	for _, p := range Policies {
+		for _, b := range []int{2, 3, 4} {
+			for _, k := range []int{1, 2, 3, 5} {
+				for _, n := range []int{1, 2, 3, 7, 19, 40, 101} {
+					for name, gen := range orders {
+						t.Run(fmt.Sprintf("%v/b=%d/k=%d/n=%d/%s", p, b, k, n, name), func(t *testing.T) {
+							data := gen(n)
+							// "stride" is only a permutation when gcd(7,n)=1.
+							if name == "stride" && n%7 == 0 {
+								t.Skip("stride is not a permutation here")
+							}
+							s, err := NewSketch(b, k, p)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := s.AddSlice(data); err != nil {
+								t.Fatal(err)
+							}
+							sorted := append([]float64(nil), data...)
+							sort.Float64s(sorted)
+							bound := s.ErrorBound()
+							for _, phi := range phis {
+								got, err := s.Quantile(phi)
+								if err != nil {
+									t.Fatal(err)
+								}
+								target := int(math.Ceil(phi * float64(n)))
+								if target < 1 {
+									target = 1
+								}
+								// got's rank in a permutation equals its value.
+								if diff := math.Abs(got - float64(target)); diff > bound+1 {
+									t.Errorf("phi=%v: got %v, target %d, bound %v", phi, got, target, bound)
+								}
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtremesExactAfterCollapses(t *testing.T) {
+	for _, p := range Policies {
+		s := mustSketch(t, 3, 4, p) // tiny sketch: many collapses
+		n := 5000
+		data := permutation(n, 51)
+		addAll(t, s, data)
+		if s.Stats().Collapses == 0 {
+			t.Fatalf("%v: expected collapses", p)
+		}
+		lo, err := s.Quantile(0)
+		if err != nil || lo != 1 {
+			t.Errorf("%v: Quantile(0) = %v, %v; want exact min 1", p, lo, err)
+		}
+		hi, err := s.Quantile(1)
+		if err != nil || hi != float64(n) {
+			t.Errorf("%v: Quantile(1) = %v, %v; want exact max %d", p, hi, err, n)
+		}
+		mn, err := s.Min()
+		if err != nil || mn != 1 {
+			t.Errorf("%v: Min = %v, %v", p, mn, err)
+		}
+		mx, err := s.Max()
+		if err != nil || mx != float64(n) {
+			t.Errorf("%v: Max = %v, %v", p, mx, err)
+		}
+	}
+}
+
+func TestExtremesEmptyAndReset(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	if _, err := s.Min(); err != ErrEmpty {
+		t.Fatalf("Min on empty: %v", err)
+	}
+	if _, err := s.Max(); err != ErrEmpty {
+		t.Fatalf("Max on empty: %v", err)
+	}
+	addAll(t, s, []float64{-5, 10})
+	s.Reset()
+	addAll(t, s, []float64{3})
+	mn, _ := s.Min()
+	mx, _ := s.Max()
+	if mn != 3 || mx != 3 {
+		t.Fatalf("post-Reset extremes = %v, %v; stale state leaked", mn, mx)
+	}
+}
+
+func TestExtremesSurviveSerialization(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	addAll(t, s, permutation(2000, 52))
+	restored := roundTrip(t, s)
+	lo, err := restored.Quantile(0)
+	if err != nil || lo != 1 {
+		t.Fatalf("restored Quantile(0) = %v, %v", lo, err)
+	}
+	hi, err := restored.Quantile(1)
+	if err != nil || hi != 2000 {
+		t.Fatalf("restored Quantile(1) = %v, %v", hi, err)
+	}
+}
+
+func TestPropertyExtremesAlwaysExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(4)
+		k := 1 + r.Intn(8)
+		n := 1 + r.Intn(3000)
+		policy := Policies[r.Intn(len(Policies))]
+		s, err := NewSketch(b, k, policy)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := r.NormFloat64() * 100
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if s.Add(v) != nil {
+				return false
+			}
+		}
+		gotLo, errA := s.Quantile(0)
+		gotHi, errB := s.Quantile(1)
+		return errA == nil && errB == nil && gotLo == lo && gotHi == hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

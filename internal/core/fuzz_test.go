@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzSketchVsExact feeds arbitrary byte-derived streams through a small
+// sketch and cross-checks every answer against the exact sorted data plus
+// the live error bound.
+func FuzzSketchVsExact(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 9, 9, 9}, uint8(1))
+	f.Add([]byte("hello quantiles"), uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, polRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		policy := Policies[int(polRaw)%len(Policies)]
+		b := 2 + int(polRaw)%4
+		k := 1 + len(raw)%7
+		s, err := NewSketch(b, k, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]float64, 0, len(raw))
+		for i, c := range raw {
+			v := float64(c) + float64(i%3)/4
+			data = append(data, v)
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sort.Float64s(data)
+		bound := s.ErrorBound()
+		for _, phi := range []float64{0, 0.33, 0.5, 0.77, 1} {
+			got, err := s.Quantile(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			target := int(math.Ceil(phi * float64(len(data))))
+			if target < 1 {
+				target = 1
+			}
+			// Rank range of got in data.
+			lo := sort.SearchFloat64s(data, got) + 1
+			hi := sort.Search(len(data), func(i int) bool { return data[i] > got })
+			if float64(target) < float64(lo)-bound-1 || float64(target) > float64(hi)+bound+1 {
+				t.Fatalf("policy=%v b=%d k=%d n=%d phi=%v: got %v (ranks [%d,%d]), target %d, bound %v",
+					policy, b, k, len(data), phi, got, lo, hi, target, bound)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalBinary throws arbitrary bytes at the decoder: it must never
+// panic, and any accepted payload must round-trip to identical bytes.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seedSketch, err := NewSketch(3, 4, PolicyNew)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := seedSketch.Add(float64(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	seed, err := seedSketch.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("MRL1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted: the state must be internally consistent enough to
+		// re-marshal and answer queries without panicking.
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted payload failed: %v", err)
+		}
+		if len(out) == 0 {
+			t.Fatal("re-marshal produced nothing")
+		}
+		if s.Count() > 0 {
+			if _, err := s.Quantile(0.5); err != nil {
+				t.Fatalf("accepted sketch cannot answer: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BufferInfo describes one live buffer for observability: debugging a
+// memory budget, inspecting the collapse schedule, or rendering the
+// sketch's state in an admin UI.
+type BufferInfo struct {
+	// Weight is the number of input elements each stored element stands
+	// for; zero for the buffer currently being filled.
+	Weight int64
+	// Level is the policy level (meaningful for the new policy).
+	Level int
+	// Elements is the number of stored elements.
+	Elements int
+	// Filling marks the buffer currently receiving input.
+	Filling bool
+}
+
+// Buffers returns a snapshot of the live buffers, heaviest first (the
+// filling buffer, if any, sorts last).
+func (s *Sketch) Buffers() []BufferInfo {
+	var out []BufferInfo
+	for _, b := range s.bufs {
+		if b.full {
+			out = append(out, BufferInfo{
+				Weight:   b.weight,
+				Level:    b.level,
+				Elements: len(b.data),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	if s.fill != nil && len(s.fill.data) > 0 {
+		out = append(out, BufferInfo{
+			Level:    s.fill.level,
+			Elements: len(s.fill.data),
+			Filling:  true,
+		})
+	}
+	return out
+}
+
+// String summarises the sketch state in one line.
+func (s *Sketch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sketch{%v b=%d k=%d n=%d", s.policy, s.b, s.k, s.count)
+	if s.count > 0 {
+		fmt.Fprintf(&sb, " bound=%.1f", s.ErrorBound())
+	}
+	fmt.Fprintf(&sb, " C=%d W=%d weights=[", s.stats.Collapses, s.stats.WeightSum)
+	for i, b := range s.Buffers() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if b.Filling {
+			fmt.Fprintf(&sb, "fill:%d/%d", b.Elements, s.k)
+		} else {
+			fmt.Fprintf(&sb, "%d", b.Weight)
+		}
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuffersSnapshot(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	addAll(t, s, permutation(10, 61)) // 2 full buffers + 2-element partial
+	infos := s.Buffers()
+	if len(infos) != 3 {
+		t.Fatalf("Buffers = %+v, want 3 entries", infos)
+	}
+	var fullElems, partial int
+	for _, b := range infos {
+		if b.Filling {
+			partial += b.Elements
+			if b.Weight != 0 {
+				t.Errorf("filling buffer has weight %d", b.Weight)
+			}
+		} else {
+			fullElems += b.Elements
+			if b.Weight < 1 {
+				t.Errorf("full buffer weight %d", b.Weight)
+			}
+		}
+	}
+	if fullElems != 8 || partial != 2 {
+		t.Fatalf("elements: full=%d partial=%d", fullElems, partial)
+	}
+	// Heaviest first among full buffers.
+	for i := 1; i < len(infos)-1; i++ {
+		if infos[i].Weight > infos[i-1].Weight {
+			t.Fatalf("not sorted by weight: %+v", infos)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	if got := s.String(); !strings.Contains(got, "n=0") {
+		t.Fatalf("empty sketch string: %s", got)
+	}
+	addAll(t, s, permutation(100, 62))
+	got := s.String()
+	for _, want := range []string{"new", "b=3", "k=4", "n=100", "bound=", "weights=["} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %s, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyLemma1OffsetSum validates Lemma 1 as a live invariant: over
+// any stream and any policy, the sum of collapse offsets is at least
+// (W + C - 1)/2 — the inequality the ErrorBound derivation rests on.
+func TestPropertyLemma1OffsetSum(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(5)
+		k := 1 + r.Intn(12)
+		n := r.Intn(4000)
+		policy := Policies[r.Intn(len(Policies))]
+		s, err := NewSketch(b, k, policy)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Add(r.Float64()) != nil {
+				return false
+			}
+		}
+		st := s.Stats()
+		if st.Collapses == 0 {
+			return true
+		}
+		// Lemma 1: 2*OffsetSum >= W + C - 1.
+		if 2*st.OffsetSum < st.WeightSum+st.Collapses-1 {
+			t.Logf("seed=%d %v b=%d k=%d n=%d: 2*offsets=%d < W+C-1=%d",
+				seed, policy, b, k, n, 2*st.OffsetSum, st.WeightSum+st.Collapses-1)
+			return false
+		}
+		// Offsets are also never more than (W + 2C)/2 (each offset is at
+		// most (w+2)/2), a sanity bracket on the accounting.
+		if 2*st.OffsetSum > st.WeightSum+2*st.Collapses {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1ViolatedWhenFrozen: with alternation disabled (the A1
+// ablation), MP streams whose collapses are all even-weight can drive the
+// offset sum to exactly W/2 < (W + C - 1)/2, demonstrating that the
+// alternation is what buys the inequality.
+func TestLemma1ViolatedWhenFrozen(t *testing.T) {
+	// Stay within MP's nominal capacity (k*2^(b-1) = 512) so every collapse
+	// merges equal weights and every output weight is even.
+	s := mustSketch(t, 8, 4, PolicyMunroPaterson)
+	s.DisableOffsetAlternation()
+	for i := 0; i < 200; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Collapses == 0 {
+		t.Fatal("no collapses")
+	}
+	if 2*st.OffsetSum != st.WeightSum {
+		t.Fatalf("frozen offsets: 2*offsets = %d, want exactly W = %d", 2*st.OffsetSum, st.WeightSum)
+	}
+	if 2*st.OffsetSum >= st.WeightSum+st.Collapses-1 {
+		t.Fatalf("freezing did not break Lemma 1 (C=%d): the ablation premise is wrong", st.Collapses)
+	}
+}

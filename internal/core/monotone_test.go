@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyBoundNondecreasing: the live Lemma 5 bound never shrinks as
+// the stream grows — W-C only accumulates and wmax only grows — so a
+// caller can trust a bound observed mid-stream as a floor for the rest of
+// the run.
+func TestPropertyBoundNondecreasing(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(4)
+		k := 1 + r.Intn(12)
+		policy := Policies[r.Intn(len(Policies))]
+		s, err := NewSketch(b, k, policy)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 2000; i++ {
+			if s.Add(r.Float64()) != nil {
+				return false
+			}
+			if cur := s.ErrorBound(); cur < prev {
+				t.Logf("seed=%d %v b=%d k=%d: bound shrank from %v to %v at element %d",
+					seed, policy, b, k, prev, cur, i+1)
+				return false
+			} else {
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCountAlwaysAccurate: Count tracks exactly the number of
+// accepted Adds across fills and collapses.
+func TestPropertyCountAlwaysAccurate(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 5000)
+		s, err := NewSketch(2+r.Intn(4), 1+r.Intn(9), Policies[r.Intn(len(Policies))])
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Add(r.NormFloat64()) != nil {
+				return false
+			}
+			if s.Count() != int64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects one of the paper's collapsing policies (Section 3.4).
+type Policy int
+
+const (
+	// PolicyNew is the paper's new level-based policy (Section 4.5): fresh
+	// buffers are stamped with a level, and when no buffer is empty the
+	// whole cohort at the lowest level collapses into a buffer one level up.
+	PolicyNew Policy = iota
+	// PolicyMunroPaterson collapses two buffers of equal weight, producing
+	// the binary-counter tree of Figure 2 (Section 4.3).
+	PolicyMunroPaterson
+	// PolicyARS is the Alsabti-Ranka-Singh policy: fill floor(b/2) staging
+	// buffers, collapse them into one survivor, repeat (Section 4.4).
+	PolicyARS
+)
+
+// Policies lists all supported policies, useful for table-driven tests and
+// experiment sweeps.
+var Policies = []Policy{PolicyNew, PolicyMunroPaterson, PolicyARS}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNew:
+		return "new"
+	case PolicyMunroPaterson:
+		return "munro-paterson"
+	case PolicyARS:
+		return "alsabti-ranka-singh"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name (as produced by String, plus common
+// short forms) back into a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "new", "mrl":
+		return PolicyNew, nil
+	case "munro-paterson", "mp":
+		return PolicyMunroPaterson, nil
+	case "alsabti-ranka-singh", "ars":
+		return PolicyARS, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q", name)
+	}
+}
+
+func (p Policy) runner() (policyRunner, error) {
+	switch p {
+	case PolicyNew:
+		return &newPolicy{}, nil
+	case PolicyMunroPaterson:
+		return &mpPolicy{}, nil
+	case PolicyARS:
+		return &arsPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", p)
+	}
+}
+
+// policyRunner is the strategy hook of the framework: acquire must return an
+// empty buffer ready to be filled (running COLLAPSE operations as needed)
+// with its level already stamped.
+type policyRunner interface {
+	acquire(s *Sketch) *buffer
+}
+
+// newPolicy implements the paper's new algorithm. Let l be the smallest
+// level among full buffers. With at least two empty buffers, NEW at level 0;
+// with exactly one, NEW at level l; with none, collapse the level-l cohort
+// into a level l+1 buffer.
+type newPolicy struct {
+	full []*buffer // scratch
+}
+
+func (p *newPolicy) acquire(s *Sketch) *buffer {
+	for {
+		switch s.countEmpty() {
+		case 0:
+			p.full = s.fullBuffers(p.full[:0])
+			minLevel := p.full[0].level
+			for _, b := range p.full[1:] {
+				if b.level < minLevel {
+					minLevel = b.level
+				}
+			}
+			cohort := p.full[:0]
+			for _, b := range p.full {
+				if b.level == minLevel {
+					cohort = append(cohort, b)
+				}
+			}
+			if len(cohort) < 2 {
+				// Unreachable under the policy's own scheduling (level-0
+				// buffers are created at least two at a time and higher
+				// cohorts only form by collapse), but guard against it by
+				// collapsing everything.
+				cohort = s.fullBuffers(p.full[:0])
+				s.stats.Fallbacks++
+			}
+			s.collapse(cohort, minLevel+1)
+		case 1:
+			buf := s.emptyBuffer()
+			buf.level = p.minFullLevel(s)
+			return buf
+		default:
+			buf := s.emptyBuffer()
+			buf.level = 0
+			return buf
+		}
+	}
+}
+
+func (p *newPolicy) minFullLevel(s *Sketch) int {
+	min, seen := 0, false
+	for _, b := range s.bufs {
+		if b.full && (!seen || b.level < min) {
+			min, seen = b.level, true
+		}
+	}
+	return min
+}
+
+// mpPolicy implements the Munro-Paterson policy: prefer NEW whenever a
+// buffer is empty; otherwise collapse two buffers of equal weight (the
+// lightest such pair). When the nominal capacity k*2^(b-1) is exceeded no
+// equal pair may exist; the policy then collapses the two lightest buffers
+// and keeps going with a correspondingly weaker bound.
+type mpPolicy struct {
+	full []*buffer // scratch
+}
+
+func (p *mpPolicy) acquire(s *Sketch) *buffer {
+	for {
+		if buf := s.emptyBuffer(); buf != nil {
+			buf.level = 0
+			return buf
+		}
+		p.full = s.fullBuffers(p.full[:0])
+		sort.SliceStable(p.full, func(i, j int) bool {
+			return p.full[i].weight < p.full[j].weight
+		})
+		pair := -1
+		for i := 0; i+1 < len(p.full); i++ {
+			if p.full[i].weight == p.full[i+1].weight {
+				pair = i
+				break
+			}
+		}
+		if pair == -1 {
+			pair = 0
+			s.stats.Fallbacks++
+		}
+		s.collapse(p.full[pair:pair+2], 0)
+	}
+}
+
+// arsPolicy implements the Alsabti-Ranka-Singh policy with h = floor(b/2)
+// staging buffers (minimum 2): every time h weight-1 buffers are full they
+// collapse into one survivor; survivors are only touched again by OUTPUT.
+// Beyond the nominal capacity k*(b/2)^2 the policy first closes short
+// staging rounds and ultimately collapses survivors to keep going.
+type arsPolicy struct {
+	scratch []*buffer
+}
+
+func (p *arsPolicy) acquire(s *Sketch) *buffer {
+	h := s.b / 2
+	if h < 2 {
+		h = 2
+	}
+	for {
+		staging := p.scratch[:0]
+		for _, b := range s.bufs {
+			if b.full && b.weight == 1 {
+				staging = append(staging, b)
+			}
+		}
+		p.scratch = staging
+		if len(staging) >= h {
+			s.collapse(staging[:h], 0)
+			continue
+		}
+		if buf := s.emptyBuffer(); buf != nil {
+			buf.level = 0
+			return buf
+		}
+		// No room left: the nominal b/2 rounds are exhausted.
+		if len(staging) >= 2 {
+			s.collapse(staging, 0)
+			continue
+		}
+		survivors := p.scratch[:0]
+		for _, b := range s.bufs {
+			if b.full && b.weight > 1 {
+				survivors = append(survivors, b)
+			}
+		}
+		p.scratch = survivors
+		s.stats.Fallbacks++
+		if len(survivors) >= 2 {
+			s.collapse(survivors, 0)
+			continue
+		}
+		// A single survivor and a single staging buffer (or none): merge
+		// whatever is full to free space.
+		all := s.fullBuffers(p.scratch[:0])
+		p.scratch = all
+		s.collapse(all, 0)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankExactSmall(t *testing.T) {
+	s := mustSketch(t, 3, 8, PolicyNew)
+	addAll(t, s, []float64{10, 20, 30, 40, 50})
+	cases := []struct {
+		v    float64
+		want int64
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {30, 3}, {50, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		got, err := s.Rank(c.v)
+		if err != nil || got != c.want {
+			t.Errorf("Rank(%v) = %d, %v; want %d", c.v, got, err, c.want)
+		}
+	}
+	cdf, err := s.CDF(30)
+	if err != nil || cdf != 0.6 {
+		t.Errorf("CDF(30) = %v, %v; want 0.6", cdf, err)
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	s := mustSketch(t, 3, 8, PolicyNew)
+	if _, err := s.Rank(1); err != ErrEmpty {
+		t.Fatalf("Rank on empty: %v", err)
+	}
+	addAll(t, s, []float64{1})
+	if _, err := s.Rank(math.NaN()); err == nil {
+		t.Fatal("Rank(NaN) accepted")
+	}
+}
+
+func TestRankInfinities(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	addAll(t, s, []float64{1, 2, 3, 4, 5, 6}) // one full buffer + partial
+	if r, err := s.Rank(math.Inf(-1)); err != nil || r != 0 {
+		t.Fatalf("Rank(-Inf) = %d, %v", r, err)
+	}
+	if r, err := s.Rank(math.Inf(1)); err != nil || r != 6 {
+		t.Fatalf("Rank(+Inf) = %d, %v", r, err)
+	}
+}
+
+// TestRankWithinBound: on permutations the true rank of value v is
+// floor(v), so the rank estimate must stay within the sketch's bound.
+func TestRankWithinBound(t *testing.T) {
+	for _, p := range Policies {
+		s := mustSketch(t, 4, 32, p)
+		n := 8000
+		addAll(t, s, permutation(n, 41))
+		bound := s.ErrorBound()
+		for _, v := range []float64{1, 100, 2000, 4000, 6000, 7999} {
+			got, err := s.Rank(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(float64(got) - v); diff > bound+1 {
+				t.Errorf("%v: Rank(%v) = %d, off by %v > bound %v", p, v, got, diff, bound)
+			}
+		}
+	}
+}
+
+// TestRankQuantileDuality: Rank(Quantile(phi)) must land within the error
+// bound of ceil(phi*N).
+func TestRankQuantileDuality(t *testing.T) {
+	s := mustSketch(t, 5, 16, PolicyNew)
+	n := 5000
+	addAll(t, s, permutation(n, 43))
+	bound := s.ErrorBound()
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Rank(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := math.Ceil(phi * float64(n))
+		if diff := math.Abs(float64(r) - target); diff > 2*bound+2 {
+			t.Errorf("phi=%v: Rank(Quantile) = %d, target %v, diff %v > 2*bound %v",
+				phi, r, target, diff, 2*bound)
+		}
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s := mustSketch(t, 4, 16, PolicyMunroPaterson)
+	addAll(t, s, permutation(3000, 44))
+	prev := int64(-1)
+	for v := 0.0; v <= 3100; v += 50 {
+		r, err := s.Rank(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Fatalf("Rank not monotone at %v: %d < %d", v, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestPropertyRankWithinBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(4)
+		k := 1 + r.Intn(24)
+		n := 1 + r.Intn(2000)
+		policy := Policies[r.Intn(len(Policies))]
+		s, err := NewSketch(b, k, policy)
+		if err != nil {
+			return false
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i + 1)
+		}
+		r.Shuffle(n, func(i, j int) { data[i], data[j] = data[j], data[i] })
+		if err := s.AddSlice(data); err != nil {
+			return false
+		}
+		bound := s.ErrorBound()
+		for trial := 0; trial < 5; trial++ {
+			v := float64(1 + r.Intn(n))
+			got, err := s.Rank(v)
+			if err != nil {
+				return false
+			}
+			if math.Abs(float64(got)-v) > bound+1 {
+				t.Logf("seed=%d policy=%v b=%d k=%d n=%d: Rank(%v)=%d bound=%v",
+					seed, policy, b, k, n, v, got, bound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by queries against a sketch that has consumed no
+// input.
+var ErrEmpty = errors.New("core: sketch has seen no input")
+
+// Sketch is a single-pass approximate quantile summary: b buffers of k
+// elements driven by a collapsing policy. The zero value is not usable; call
+// NewSketch.
+//
+// A Sketch is not safe for concurrent use. For partitioned parallel
+// computation use one Sketch per goroutine and combine them with
+// internal/parallel (Section 4.9 of the paper).
+type Sketch struct {
+	b, k   int
+	policy Policy
+	runner policyRunner
+	bufs   []*buffer
+	fill   *buffer // buffer currently being filled; nil between fills
+	count  int64   // input elements consumed
+	stats  Stats
+
+	// min and max track the exact extremes of the input: collapses may
+	// drop the true minimum/maximum from the buffers, but phi = 0 and
+	// phi = 1 can always be answered exactly from these two cells.
+	min, max float64
+
+	// evenHigh selects the offset of the next COLLAPSE whose output weight
+	// is even: true picks (w+2)/2, false picks w/2. Successive even-weight
+	// collapses alternate, which is what Lemma 1 needs.
+	evenHigh bool
+
+	// noAlternation freezes the even-weight offset at w/2 instead of
+	// alternating. Only for the A1 ablation benchmark: it voids the Lemma 1
+	// accounting, which is exactly what the ablation demonstrates.
+	noAlternation bool
+
+	// Scratch space reused across COLLAPSE operations.
+	scratchT []int64
+	scratchV []float64
+	scratchW []Weighted
+}
+
+// NewSketch returns a sketch with b buffers of k elements each using the
+// given collapsing policy. The memory footprint is b*k elements plus O(b)
+// bookkeeping. Use internal/params to derive (b, k) from an accuracy target.
+func NewSketch(b, k int, policy Policy) (*Sketch, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("core: need at least 2 buffers, got %d", b)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: buffer size must be positive, got %d", k)
+	}
+	runner, err := policy.runner()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		b:        b,
+		k:        k,
+		policy:   policy,
+		runner:   runner,
+		bufs:     make([]*buffer, b),
+		evenHigh: true,
+		scratchT: make([]int64, k),
+		scratchV: make([]float64, k),
+		scratchW: make([]Weighted, 0, b),
+	}
+	for i := range s.bufs {
+		s.bufs[i] = newBuffer(k)
+	}
+	return s, nil
+}
+
+// B returns the number of buffers.
+func (s *Sketch) B() int { return s.b }
+
+// K returns the per-buffer capacity in elements.
+func (s *Sketch) K() int { return s.k }
+
+// Policy returns the collapsing policy in use.
+func (s *Sketch) Policy() Policy { return s.policy }
+
+// Count returns the number of input elements consumed so far.
+func (s *Sketch) Count() int64 { return s.count }
+
+// MemoryElements returns the buffer footprint b*k in elements.
+func (s *Sketch) MemoryElements() int { return s.b * s.k }
+
+// Stats returns a snapshot of the collapse accounting (C, W, leaves, ...).
+func (s *Sketch) Stats() Stats { return s.stats }
+
+// Reset restores the sketch to its freshly constructed state, retaining the
+// allocated buffers.
+func (s *Sketch) Reset() {
+	for _, b := range s.bufs {
+		b.reset()
+	}
+	s.fill = nil
+	s.count = 0
+	s.stats = Stats{}
+	s.evenHigh = true
+	s.min, s.max = 0, 0
+}
+
+// DisableOffsetAlternation freezes the even-weight collapse offset at w/2
+// instead of alternating between w/2 and (w+2)/2. This voids the Lemma 1
+// prerequisite and exists ONLY for the offset-alternation ablation
+// benchmark; do not use it in production.
+func (s *Sketch) DisableOffsetAlternation() { s.noAlternation = true }
+
+// Add consumes one input element. NaN values are rejected because they have
+// no position in the sorted order of the input.
+func (s *Sketch) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("core: NaN has no rank and cannot be added")
+	}
+	if s.fill == nil {
+		s.fill = s.runner.acquire(s)
+		s.fill.data = s.fill.data[:0]
+		s.fill.full = false
+		s.fill.weight = 0
+	}
+	s.fill.data = append(s.fill.data, v)
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	if len(s.fill.data) == s.k {
+		s.completeFill()
+	}
+	return nil
+}
+
+// AddSlice consumes vs in order. It stops at the first NaN and reports it.
+func (s *Sketch) AddSlice(vs []float64) error {
+	for i, v := range vs {
+		if err := s.Add(v); err != nil {
+			return fmt.Errorf("core: element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// completeFill seals the buffer currently being filled: the paper's NEW
+// operation ends by sorting the buffer and stamping it weight 1.
+func (s *Sketch) completeFill() {
+	sort.Float64s(s.fill.data)
+	s.fill.weight = 1
+	s.fill.full = true
+	s.stats.Leaves++
+	s.fill = nil
+}
+
+// collapse performs the paper's COLLAPSE on the given full buffers, storing
+// the k equally spaced elements of their weighted merge into inputs[0] and
+// marking the rest empty. The output buffer is stamped with level.
+func (s *Sketch) collapse(inputs []*buffer, level int) *buffer {
+	var w int64
+	for _, in := range inputs {
+		w += in.weight
+	}
+	var offset int64
+	if w%2 == 1 {
+		offset = (w + 1) / 2
+	} else if s.noAlternation {
+		offset = w / 2
+	} else if s.evenHigh {
+		offset = (w + 2) / 2
+		s.evenHigh = false
+	} else {
+		offset = w / 2
+		s.evenHigh = true
+	}
+	targets := s.scratchT[:s.k]
+	for j := 0; j < s.k; j++ {
+		targets[j] = int64(j)*w + offset
+	}
+	views := s.scratchW[:0]
+	for _, in := range inputs {
+		views = append(views, Weighted{Data: in.data, Weight: in.weight})
+	}
+	out := s.scratchV[:s.k]
+	selectInMerge(views, targets, out)
+
+	s.stats.Collapses++
+	s.stats.WeightSum += w
+	s.stats.OffsetSum += offset
+	if w > s.stats.MaxCollapseWeight {
+		s.stats.MaxCollapseWeight = w
+	}
+
+	dst := inputs[0]
+	dst.data = append(dst.data[:0], out...)
+	dst.weight = w
+	dst.level = level
+	dst.full = true
+	for _, in := range inputs[1:] {
+		in.reset()
+	}
+	return dst
+}
+
+// fullBuffers appends the current full buffers to dst and returns it.
+func (s *Sketch) fullBuffers(dst []*buffer) []*buffer {
+	for _, b := range s.bufs {
+		if b.full {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+func (s *Sketch) emptyBuffer() *buffer {
+	for _, b := range s.bufs {
+		if !b.full && b != s.fill {
+			return b
+		}
+	}
+	return nil
+}
+
+func (s *Sketch) countEmpty() int {
+	n := 0
+	for _, b := range s.bufs {
+		if !b.full && b != s.fill {
+			n++
+		}
+	}
+	return n
+}
+
+// Min returns the exact minimum of the input consumed so far.
+func (s *Sketch) Min() (float64, error) {
+	if s.count == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	return s.min, nil
+}
+
+// Max returns the exact maximum of the input consumed so far.
+func (s *Sketch) Max() (float64, error) {
+	if s.count == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	return s.max, nil
+}
+
+// Quantile returns an approximation of the phi-quantile of the input
+// consumed so far. phi must lie in [0, 1].
+func (s *Sketch) Quantile(phi float64) (float64, error) {
+	vs, err := s.Quantiles([]float64{phi})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return vs[0], nil
+}
+
+// Quantiles returns approximations of the given quantiles in one pass over
+// the surviving buffers: the paper's OUTPUT operation, which answers any
+// number of quantiles at no extra memory cost (Section 4.7). Queries are
+// non-destructive; the sketch can keep absorbing input afterwards.
+func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
+	views, negPad, err := s.outputViews()
+	if err != nil {
+		return nil, err
+	}
+	for _, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("core: quantile fraction %v outside [0,1]", phi)
+		}
+	}
+
+	// Map each phi onto a 1-based position in the augmented weighted merge:
+	// rank ceil(phi*N) in the original input shifts up by the number of -Inf
+	// sentinels padded onto the partial buffer. This is the paper's
+	// phi' = (2*phi + beta - 1) / (2*beta) transposition, computed directly
+	// on ranks so odd pads are handled exactly.
+	type tgt struct {
+		pos int64
+		idx int
+	}
+	tgts := make([]tgt, len(phis))
+	exact := make(map[int]float64) // extreme ranks answered from min/max
+	for i, phi := range phis {
+		r := int64(math.Ceil(phi * float64(s.count)))
+		if r < 1 {
+			r = 1
+		}
+		if r > s.count {
+			r = s.count
+		}
+		// Ranks 1 and N are tracked exactly; collapses may have dropped
+		// the true extremes from the buffers.
+		switch r {
+		case 1:
+			exact[i] = s.min
+		case s.count:
+			exact[i] = s.max
+		}
+		tgts[i] = tgt{pos: r + negPad, idx: i}
+	}
+	sort.Slice(tgts, func(i, j int) bool { return tgts[i].pos < tgts[j].pos })
+	positions := make([]int64, len(tgts))
+	for i, t := range tgts {
+		positions[i] = t.pos
+	}
+	picked := SelectInMerge(views, positions)
+	out := make([]float64, len(phis))
+	for i, t := range tgts {
+		out[t.idx] = picked[i]
+	}
+	for i, v := range exact {
+		out[i] = v
+	}
+	return out, nil
+}
+
+// outputViews assembles the OUTPUT operands: the full buffers plus, if an
+// input buffer is mid-fill, a weight-1 copy padded with equal numbers of
+// -Inf and +Inf sentinels (Section 3.1). It returns the views and the
+// number of -Inf sentinels added.
+func (s *Sketch) outputViews() ([]Weighted, int64, error) {
+	if s.count == 0 {
+		return nil, 0, ErrEmpty
+	}
+	views := make([]Weighted, 0, s.b+1)
+	for _, b := range s.bufs {
+		if b.full {
+			views = append(views, Weighted{Data: b.data, Weight: b.weight})
+		}
+	}
+	var negPad int64
+	if s.fill != nil && len(s.fill.data) > 0 {
+		pad := s.k - len(s.fill.data)
+		neg := pad / 2
+		pos := pad - neg
+		padded := make([]float64, 0, s.k)
+		for i := 0; i < neg; i++ {
+			padded = append(padded, math.Inf(-1))
+		}
+		vals := append([]float64(nil), s.fill.data...)
+		sort.Float64s(vals)
+		padded = append(padded, vals...)
+		for i := 0; i < pos; i++ {
+			padded = append(padded, math.Inf(1))
+		}
+		views = append(views, Weighted{Data: padded, Weight: 1})
+		negPad = int64(neg)
+	}
+	return views, negPad, nil
+}
+
+// FinalBuffers returns copies of the buffers that would feed OUTPUT right
+// now (including the padded partial buffer) together with the number of
+// -Inf sentinels in them. This is the exchange format for the parallel
+// root-combination phase of Section 4.9: concatenate the final buffers of
+// all partitions and run a single OUTPUT selection across them.
+func (s *Sketch) FinalBuffers() (views []Weighted, negPad int64, err error) {
+	raw, negPad, err := s.outputViews()
+	if err != nil {
+		return nil, 0, err
+	}
+	views = make([]Weighted, len(raw))
+	for i, v := range raw {
+		views[i] = Weighted{Data: append([]float64(nil), v.Data...), Weight: v.Weight}
+	}
+	return views, negPad, nil
+}
+
+// FinalBuffersRaw returns copies of the full buffers plus the partial fill
+// buffer as a short weight-1 buffer WITHOUT sentinel padding. Because every
+// slot then stands for exactly its weight in real elements, selection
+// positions over these views need no padding offset: the weighted merge has
+// exactly Count slots. This is the preferred exchange format for combining
+// sketches; FinalBuffers keeps the paper's padded form.
+func (s *Sketch) FinalBuffersRaw() ([]Weighted, error) {
+	if s.count == 0 {
+		return nil, ErrEmpty
+	}
+	views := make([]Weighted, 0, s.b+1)
+	for _, b := range s.bufs {
+		if b.full {
+			views = append(views, Weighted{Data: append([]float64(nil), b.data...), Weight: b.weight})
+		}
+	}
+	if s.fill != nil && len(s.fill.data) > 0 {
+		vals := append([]float64(nil), s.fill.data...)
+		sort.Float64s(vals)
+		views = append(views, Weighted{Data: vals, Weight: 1})
+	}
+	return views, nil
+}
+
+// ErrorBound returns the a-posteriori Lemma 5 guarantee on the rank error
+// of any quantile reported by Quantiles, in absolute ranks:
+// (W - C - 1)/2 + wmax, where C and W account for the collapses that have
+// actually happened and wmax is the heaviest buffer that would feed OUTPUT.
+// Divide by Count for the epsilon it certifies.
+func (s *Sketch) ErrorBound() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	var wmax int64
+	for _, b := range s.bufs {
+		if b.full && b.weight > wmax {
+			wmax = b.weight
+		}
+	}
+	if s.fill != nil && len(s.fill.data) > 0 && wmax < 1 {
+		wmax = 1
+	}
+	bound := float64(s.stats.WeightSum-s.stats.Collapses-1)/2 + float64(wmax) +
+		float64(s.stats.Absorbs)/2
+	if bound < 0 {
+		return 0
+	}
+	return bound
+}

@@ -1,0 +1,31 @@
+package core
+
+// Stats records the collapse accounting that drives the paper's analysis
+// (Figure 5 lists the symbols): C is the number of COLLAPSE operations, W
+// the sum of their output weights, and L the number of leaves (weight-1
+// buffers produced by NEW). Lemma 5 bounds the rank error of OUTPUT by
+// (W - C - 1)/2 + wmax; Sketch.ErrorBound evaluates it live.
+type Stats struct {
+	// Leaves is L, the number of completely filled weight-1 buffers so far.
+	Leaves int64
+	// Collapses is C, the number of COLLAPSE operations performed.
+	Collapses int64
+	// WeightSum is W, the sum of the output weights of all collapses.
+	WeightSum int64
+	// MaxCollapseWeight is the largest output weight of any collapse.
+	MaxCollapseWeight int64
+	// OffsetSum is the sum of the offsets of all collapses. Lemma 1
+	// guarantees OffsetSum >= (WeightSum + Collapses - 1) / 2, which is
+	// what makes the ErrorBound formula valid; the test suite checks the
+	// inequality live.
+	OffsetSum int64
+	// Absorbs counts Absorb operations folded into this sketch. Each merge
+	// concatenates an independently alternating collapse sequence, which
+	// weakens the Lemma 1 floor by 1/2 rank per merge; ErrorBound charges
+	// Absorbs/2 accordingly.
+	Absorbs int64
+	// Fallbacks counts collapses chosen outside a policy's nominal schedule,
+	// i.e. the sketch was driven past the capacity its (b, k) were sized
+	// for. A correctly provisioned run has zero fallbacks.
+	Fallbacks int64
+}

@@ -1,0 +1,35 @@
+package groupby
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAggregatorAdd(b *testing.B) {
+	for _, groups := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			agg, err := NewAggregator(Config{Epsilon: 0.01, MaxGroupRows: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, groups)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("group-%04d", i)
+			}
+			r := rand.New(rand.NewSource(1))
+			vals := make([]float64, 1<<16)
+			for i := range vals {
+				vals[i] = r.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := agg.Add(keys[i%groups], vals[i&(1<<16-1)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(8)
+			b.ReportMetric(float64(agg.MemoryElements()), "total-elems")
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Package groupby is a one-pass GROUP BY quantile aggregation operator:
+// the execution-environment extension the paper's conclusion calls for. It
+// computes per-group epsilon-approximate quantiles for an unbounded number
+// of groups discovered on the fly, under an explicit total memory budget —
+// the scenario (multiple concurrent aggregations in one table scan) that
+// makes minimising per-sketch memory matter in the first place.
+package groupby
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mrl/internal/core"
+	"mrl/internal/params"
+)
+
+// ErrBudget is returned by Add when creating a sketch for a new group would
+// exceed the configured memory budget.
+var ErrBudget = errors.New("groupby: memory budget exhausted")
+
+// Config describes a GROUP BY quantile aggregation.
+type Config struct {
+	// Epsilon is the per-group rank-error guarantee.
+	Epsilon float64
+	// MaxGroupRows is the capacity each group sketch is provisioned for: a
+	// safe choice is the total row count of the scan, which costs only a
+	// logarithmic factor over a tight bound.
+	MaxGroupRows int64
+	// Policy selects the collapsing policy (default: the new algorithm).
+	Policy core.Policy
+	// MemoryBudget caps the summed buffer elements across all group
+	// sketches; 0 means unlimited. When a new group would exceed it, Add
+	// returns ErrBudget, leaving the operator usable for existing groups —
+	// the caller decides whether to spill, flush or fail the query.
+	MemoryBudget int64
+}
+
+// Aggregator computes per-group quantiles in one pass.
+type Aggregator struct {
+	cfg    Config
+	plan   params.Plan
+	groups map[string]*core.Sketch
+	used   int64
+}
+
+// NewAggregator validates the configuration and provisions the per-group
+// plan (all groups share the same geometry).
+func NewAggregator(cfg Config) (*Aggregator, error) {
+	if cfg.MaxGroupRows < 1 {
+		return nil, fmt.Errorf("groupby: MaxGroupRows %d must be positive", cfg.MaxGroupRows)
+	}
+	plan, err := params.Optimize(cfg.Policy, cfg.Epsilon, cfg.MaxGroupRows)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemoryBudget > 0 && plan.Memory() > cfg.MemoryBudget {
+		return nil, fmt.Errorf("groupby: one group needs %d elements, budget is %d",
+			plan.Memory(), cfg.MemoryBudget)
+	}
+	return &Aggregator{
+		cfg:    cfg,
+		plan:   plan,
+		groups: make(map[string]*core.Sketch),
+	}, nil
+}
+
+// GroupMemory returns the buffer elements each group costs.
+func (a *Aggregator) GroupMemory() int64 { return a.plan.Memory() }
+
+// MemoryElements returns the total buffer elements currently allocated.
+func (a *Aggregator) MemoryElements() int64 { return a.used }
+
+// NumGroups returns the number of groups discovered so far.
+func (a *Aggregator) NumGroups() int { return len(a.groups) }
+
+// Add routes one row's value to its group's sketch, creating the sketch on
+// first sight of the key.
+func (a *Aggregator) Add(key string, v float64) error {
+	s, ok := a.groups[key]
+	if !ok {
+		if a.cfg.MemoryBudget > 0 && a.used+a.plan.Memory() > a.cfg.MemoryBudget {
+			return fmt.Errorf("%w: group %q would need %d elements over budget %d",
+				ErrBudget, key, a.used+a.plan.Memory(), a.cfg.MemoryBudget)
+		}
+		var err error
+		s, err = a.plan.NewSketch()
+		if err != nil {
+			return err
+		}
+		a.groups[key] = s
+		a.used += a.plan.Memory()
+	}
+	return s.Add(v)
+}
+
+// Groups returns the discovered group keys, sorted.
+func (a *Aggregator) Groups() []string {
+	keys := make([]string, 0, len(a.groups))
+	for k := range a.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count returns the number of rows seen for the group, zero if unknown.
+func (a *Aggregator) Count(key string) int64 {
+	if s, ok := a.groups[key]; ok {
+		return s.Count()
+	}
+	return 0
+}
+
+// Quantiles answers per-group quantile queries; it fails for unknown keys.
+func (a *Aggregator) Quantiles(key string, phis []float64) ([]float64, error) {
+	s, ok := a.groups[key]
+	if !ok {
+		return nil, fmt.Errorf("groupby: unknown group %q", key)
+	}
+	return s.Quantiles(phis)
+}
+
+// ErrorBound returns the group's live Lemma 5 rank-error bound.
+func (a *Aggregator) ErrorBound(key string) (float64, error) {
+	s, ok := a.groups[key]
+	if !ok {
+		return 0, fmt.Errorf("groupby: unknown group %q", key)
+	}
+	return s.ErrorBound(), nil
+}
+
+// Merge folds the groups of other into a and empties other. It requires
+// key-disjoint inputs (the common shuffle-by-key layout); overlapping keys
+// return an error — combining same-key sketches needs the cross-sketch
+// OUTPUT of internal/parallel, which does not produce a resumable sketch.
+func (a *Aggregator) Merge(other *Aggregator) error {
+	if other == nil {
+		return nil
+	}
+	if a.plan != other.plan {
+		return fmt.Errorf("groupby: incompatible plans %v and %v", a.plan, other.plan)
+	}
+	for k := range other.groups {
+		if _, dup := a.groups[k]; dup {
+			return fmt.Errorf("groupby: group %q present on both sides; merge requires key-disjoint partitions", k)
+		}
+	}
+	for k, s := range other.groups {
+		if a.cfg.MemoryBudget > 0 && a.used+a.plan.Memory() > a.cfg.MemoryBudget {
+			return fmt.Errorf("%w: merging group %q", ErrBudget, k)
+		}
+		a.groups[k] = s
+		a.used += a.plan.Memory()
+	}
+	other.groups = make(map[string]*core.Sketch)
+	other.used = 0
+	return nil
+}

@@ -1,0 +1,190 @@
+package groupby
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mrl/internal/core"
+)
+
+func TestAggregatorBasics(t *testing.T) {
+	agg, err := NewAggregator(Config{Epsilon: 0.01, MaxGroupRows: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9000; i++ {
+		key := fmt.Sprintf("g%d", i%3)
+		if err := agg.Add(key, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d", agg.NumGroups())
+	}
+	want := []string{"g0", "g1", "g2"}
+	if got := agg.Groups(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Groups = %v", got)
+	}
+	for _, key := range want {
+		if c := agg.Count(key); c != 3000 {
+			t.Errorf("Count(%s) = %d", key, c)
+		}
+		qs, err := agg.Quantiles(key, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each group holds an arithmetic progression centred near 4500.
+		if math.Abs(qs[0]-4500) > 0.01*9000+3 {
+			t.Errorf("median(%s) = %v", key, qs[0])
+		}
+		bound, err := agg.ErrorBound(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound > 0.01*10000 {
+			t.Errorf("bound(%s) = %v", key, bound)
+		}
+	}
+	if agg.Count("missing") != 0 {
+		t.Error("unknown group has nonzero count")
+	}
+	if _, err := agg.Quantiles("missing", []float64{0.5}); err == nil {
+		t.Error("unknown group answered")
+	}
+	if _, err := agg.ErrorBound("missing"); err == nil {
+		t.Error("unknown group gave a bound")
+	}
+	if agg.MemoryElements() != 3*agg.GroupMemory() {
+		t.Errorf("memory %d != 3 groups x %d", agg.MemoryElements(), agg.GroupMemory())
+	}
+}
+
+func TestAggregatorValidation(t *testing.T) {
+	if _, err := NewAggregator(Config{Epsilon: 0.01, MaxGroupRows: 0}); err == nil {
+		t.Error("MaxGroupRows 0 accepted")
+	}
+	if _, err := NewAggregator(Config{Epsilon: -1, MaxGroupRows: 100}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	// Budget below a single group's footprint fails up front.
+	if _, err := NewAggregator(Config{Epsilon: 0.001, MaxGroupRows: 1e6, MemoryBudget: 10}); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestAggregatorBudget(t *testing.T) {
+	probe, err := NewAggregator(Config{Epsilon: 0.05, MaxGroupRows: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := probe.GroupMemory()
+	agg, err := NewAggregator(Config{
+		Epsilon:      0.05,
+		MaxGroupRows: 10000,
+		MemoryBudget: 2*per + per/2, // room for exactly two groups
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	err = agg.Add("c", 3)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("third group error = %v, want ErrBudget", err)
+	}
+	// Existing groups keep working after a budget rejection.
+	if err := agg.Add("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if agg.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", agg.NumGroups())
+	}
+}
+
+func TestAggregatorSkewedGroups(t *testing.T) {
+	const n = 200000
+	agg, err := NewAggregator(Config{Epsilon: 0.005, MaxGroupRows: n, Policy: core.PolicyNew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(r, 1.3, 1, 9)
+	counts := map[string]int64{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("g%d", zipf.Uint64())
+		counts[key]++
+		if err := agg.Add(key, r.Float64()*1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range agg.Groups() {
+		if agg.Count(key) != counts[key] {
+			t.Errorf("count(%s) = %d, want %d", key, agg.Count(key), counts[key])
+		}
+		if counts[key] < 100 {
+			continue
+		}
+		qs, err := agg.Quantiles(key, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Uniform[0,1000): the median must land near 500 within the
+		// guarantee plus sampling noise of the group size.
+		slack := 0.005*float64(n)/float64(counts[key])*1000 + 5000/math.Sqrt(float64(counts[key]))
+		if math.Abs(qs[0]-500) > slack {
+			t.Errorf("median(%s) = %v with %d rows (slack %v)", key, qs[0], counts[key], slack)
+		}
+	}
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	mk := func(keys ...string) *Aggregator {
+		agg, err := NewAggregator(Config{Epsilon: 0.05, MaxGroupRows: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			for i := 1; i <= 100; i++ {
+				if err := agg.Add(k, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return agg
+	}
+	a := mk("x", "y")
+	b := mk("z")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGroups() != 3 || b.NumGroups() != 0 {
+		t.Fatalf("after merge: a=%d b=%d groups", a.NumGroups(), b.NumGroups())
+	}
+	if a.Count("z") != 100 {
+		t.Fatalf("merged group count = %d", a.Count("z"))
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping keys are rejected.
+	c := mk("x")
+	if err := a.Merge(c); err == nil {
+		t.Fatal("overlapping merge accepted")
+	}
+	// Incompatible plans are rejected.
+	d, err := NewAggregator(Config{Epsilon: 0.01, MaxGroupRows: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(d); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}

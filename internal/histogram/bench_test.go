@@ -1,0 +1,57 @@
+package histogram
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+func loadedSketch(b *testing.B) *core.Sketch {
+	b.Helper()
+	s, err := core.NewSketch(10, 596, core.PolicyNew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := stream.Each(stream.Uniform(1<<18, 1), s.Add); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkBuild(b *testing.B) {
+	s := loadedSketch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s, 20, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectivity(b *testing.B) {
+	s := loadedSketch(b)
+	h, err := Build(s, 20, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Selectivity(0.2, 0.8)
+	}
+}
+
+func BenchmarkEquiWidthAdd(b *testing.B) {
+	h, err := NewEquiWidth(0, 1, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := stream.Drain(stream.Uniform(1<<16, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Add(data[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+}

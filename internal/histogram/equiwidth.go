@@ -1,0 +1,94 @@
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EquiWidth is the naive fixed-width histogram: the domain [Min, Max] is
+// cut into equal-width buckets and a counter per bucket is maintained
+// online. It exists as the comparison point for equi-depth histograms
+// (Section 1.1's reference [3]): on skewed data most rows pile into a few
+// buckets and range-selectivity estimates degrade, which is exactly why
+// quantile-based (equi-depth) histograms are preferred.
+type EquiWidth struct {
+	Min, Max float64
+	Counts   []int64
+	N        int64
+}
+
+// NewEquiWidth returns a histogram over [min, max] with the given number
+// of buckets. Values outside the range are clamped into the edge buckets.
+func NewEquiWidth(min, max float64, buckets int) (*EquiWidth, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: bucket count %d must be positive", buckets)
+	}
+	if !(min < max) || math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) {
+		return nil, fmt.Errorf("histogram: invalid range [%v, %v]", min, max)
+	}
+	return &EquiWidth{Min: min, Max: max, Counts: make([]int64, buckets)}, nil
+}
+
+// Buckets returns the number of buckets.
+func (h *EquiWidth) Buckets() int { return len(h.Counts) }
+
+// Add counts one value.
+func (h *EquiWidth) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("histogram: NaN value")
+	}
+	h.Counts[h.bucket(v)]++
+	h.N++
+	return nil
+}
+
+func (h *EquiWidth) bucket(v float64) int {
+	p := len(h.Counts)
+	i := int(float64(p) * (v - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		return 0
+	}
+	if i >= p {
+		return p - 1
+	}
+	return i
+}
+
+// EstimateRank estimates the number of rows <= v by summing full buckets
+// and interpolating inside v's bucket.
+func (h *EquiWidth) EstimateRank(v float64) float64 {
+	if v < h.Min {
+		return 0
+	}
+	if v >= h.Max {
+		return float64(h.N)
+	}
+	i := h.bucket(v)
+	var cum int64
+	for j := 0; j < i; j++ {
+		cum += h.Counts[j]
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	lo := h.Min + float64(i)*width
+	frac := (v - lo) / width
+	return float64(cum) + frac*float64(h.Counts[i])
+}
+
+// Selectivity estimates the fraction of rows in [lo, hi].
+func (h *EquiWidth) Selectivity(lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if h.N == 0 {
+		return 0
+	}
+	s := (h.EstimateRank(hi) - h.EstimateRank(lo)) / float64(h.N)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

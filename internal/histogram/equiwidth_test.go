@@ -1,0 +1,120 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+func TestEquiWidthUniform(t *testing.T) {
+	h, err := NewEquiWidth(0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Each(stream.Sorted(1000), h.Add); err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 1000 || h.Buckets() != 10 {
+		t.Fatalf("N=%d buckets=%d", h.N, h.Buckets())
+	}
+	// Bucket i covers [100i, 100(i+1)); value 1000 clamps into the last
+	// bucket, so the edge buckets hold 99 and 101.
+	want := []int64{99, 100, 100, 100, 100, 100, 100, 100, 100, 101}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d count %d, want %d", i, c, want[i])
+		}
+	}
+	if got := h.Selectivity(250, 750); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("selectivity = %v", got)
+	}
+	if got := h.Selectivity(-10, 2000); got != 1 {
+		t.Errorf("full selectivity = %v", got)
+	}
+}
+
+func TestEquiWidthClamping(t *testing.T) {
+	h, err := NewEquiWidth(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-100, 0, 5, 10, 1e9} {
+		if err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Counts[0] != 2 || h.Counts[4] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if err := h.Add(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestEquiWidthValidation(t *testing.T) {
+	if _, err := NewEquiWidth(0, 10, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := NewEquiWidth(10, 0, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewEquiWidth(0, math.Inf(1), 5); err == nil {
+		t.Error("infinite range accepted")
+	}
+}
+
+// TestEquiDepthBeatsEquiWidthOnSkew is the Section 1.1 motivation: at equal
+// bucket counts over heavily skewed data, the quantile-derived equi-depth
+// histogram estimates range selectivities far better than the naive
+// equi-width histogram.
+func TestEquiDepthBeatsEquiWidthOnSkew(t *testing.T) {
+	const n = 100000
+	const buckets = 20
+	src := stream.LogNormal(n, 9, 0, 2) // extreme right skew
+	data := stream.Drain(src)
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+
+	sk, err := core.NewSketch(10, 596, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := NewEquiWidth(sorted[0], sorted[n-1], buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		if err := sk.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ed, err := Build(sk, buckets, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exactSel := func(lo, hi float64) float64 {
+		a := sort.SearchFloat64s(sorted, lo)
+		b := sort.Search(n, func(i int) bool { return sorted[i] > hi })
+		return float64(b-a) / n
+	}
+	preds := [][2]float64{{0.1, 1}, {0.5, 2}, {1, 5}, {2, 10}, {5, 50}}
+	var edErr, ewErr float64
+	for _, p := range preds {
+		ex := exactSel(p[0], p[1])
+		edErr += math.Abs(ed.Selectivity(p[0], p[1]) - ex)
+		ewErr += math.Abs(ew.Selectivity(p[0], p[1]) - ex)
+	}
+	if edErr >= ewErr {
+		t.Fatalf("equi-depth total error %v not below equi-width %v on skewed data", edErr, ewErr)
+	}
+	if edErr/float64(len(preds)) > ed.SelectivityErrorBound() {
+		t.Fatalf("equi-depth mean error %v above its bound %v", edErr/float64(len(preds)), ed.SelectivityErrorBound())
+	}
+}

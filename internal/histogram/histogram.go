@@ -1,0 +1,143 @@
+// Package histogram builds equi-depth histograms from approximate quantile
+// summaries: the Section 1.1 database application. An equi-depth histogram
+// with p buckets is just the i/p-quantiles for i = 1..p-1, so any
+// eps-approximate quantile estimator yields bucket boundaries whose depths
+// are balanced to within eps*N — exactly what selectivity estimation for
+// query optimization needs.
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantiler is the slice of the sketch API the builder needs.
+type Quantiler interface {
+	Quantiles(phis []float64) ([]float64, error)
+	Count() int64
+}
+
+// EquiDepth is a p-bucket equi-depth histogram over N rows. Bucket i spans
+// [Bounds[i], Bounds[i+1]] and holds approximately N/p rows.
+type EquiDepth struct {
+	// Bounds has Buckets+1 entries: the minimum, the p-1 internal
+	// boundaries (the i/p-quantiles) and the maximum.
+	Bounds []float64
+	// N is the number of rows summarised.
+	N int64
+	// Epsilon is the per-boundary rank guarantee inherited from the
+	// estimator (0 when built from an exact oracle).
+	Epsilon float64
+}
+
+// Build constructs a p-bucket equi-depth histogram by querying the
+// estimator at fractions 0, 1/p, ..., 1. epsilon records the estimator's
+// guarantee for error reporting.
+func Build(q Quantiler, buckets int, epsilon float64) (*EquiDepth, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: bucket count %d must be positive", buckets)
+	}
+	if epsilon < 0 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("histogram: epsilon %v must be non-negative", epsilon)
+	}
+	if q.Count() == 0 {
+		return nil, errors.New("histogram: empty input")
+	}
+	phis := make([]float64, buckets+1)
+	for i := range phis {
+		phis[i] = float64(i) / float64(buckets)
+	}
+	bounds, err := q.Quantiles(phis)
+	if err != nil {
+		return nil, fmt.Errorf("histogram: querying boundaries: %w", err)
+	}
+	// Approximation can produce locally non-monotone boundaries only if the
+	// estimator is broken; enforce monotonicity defensively anyway.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	return &EquiDepth{Bounds: bounds, N: q.Count(), Epsilon: epsilon}, nil
+}
+
+// Buckets returns the number of buckets.
+func (h *EquiDepth) Buckets() int { return len(h.Bounds) - 1 }
+
+// Depth returns the nominal bucket depth N/p in rows.
+func (h *EquiDepth) Depth() float64 { return float64(h.N) / float64(h.Buckets()) }
+
+// EstimateRank estimates the number of rows with value <= v by locating v's
+// bucket and interpolating linearly inside it.
+func (h *EquiDepth) EstimateRank(v float64) float64 {
+	p := h.Buckets()
+	if v < h.Bounds[0] {
+		return 0
+	}
+	if v >= h.Bounds[p] {
+		return float64(h.N)
+	}
+	// Find the bucket with Bounds[i] <= v < Bounds[i+1].
+	i := sort.Search(p, func(j int) bool { return h.Bounds[j+1] > v })
+	lo, hi := h.Bounds[i], h.Bounds[i+1]
+	frac := 0.0
+	if hi > lo {
+		frac = (v - lo) / (hi - lo)
+	}
+	return (float64(i) + frac) * h.Depth()
+}
+
+// EstimateRankBelow estimates the number of rows with value strictly less
+// than v. For duplicated values spanning several buckets this anchors at
+// the start of the run where EstimateRank anchors at its end, which is what
+// closed-interval predicates need.
+func (h *EquiDepth) EstimateRankBelow(v float64) float64 {
+	p := h.Buckets()
+	if v <= h.Bounds[0] {
+		return 0
+	}
+	if v > h.Bounds[p] {
+		return float64(h.N)
+	}
+	// First boundary at or above v; every full bucket before it is < v.
+	i := sort.Search(p, func(j int) bool { return h.Bounds[j] >= v })
+	if i == 0 {
+		return 0
+	}
+	lo, hi := h.Bounds[i-1], h.Bounds[i]
+	frac := 1.0
+	if hi > lo {
+		frac = (v - lo) / (hi - lo)
+	}
+	return (float64(i-1) + frac) * h.Depth()
+}
+
+// Selectivity estimates the fraction of rows in the closed interval
+// [lo, hi], the range-predicate estimate of query optimization. Swapped
+// endpoints are normalised.
+func (h *EquiDepth) Selectivity(lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s := (h.EstimateRank(hi) - h.EstimateRankBelow(lo)) / float64(h.N)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// SelectivityErrorBound returns the worst-case absolute error of
+// Selectivity: each endpoint's rank is off by at most one bucket depth
+// (interpolation) plus eps*N (boundary placement), for both endpoints.
+func (h *EquiDepth) SelectivityErrorBound() float64 {
+	return 2 * (1/float64(h.Buckets()) + h.Epsilon)
+}
+
+func (h *EquiDepth) String() string {
+	return fmt.Sprintf("equidepth{buckets=%d n=%d eps=%g}", h.Buckets(), h.N, h.Epsilon)
+}

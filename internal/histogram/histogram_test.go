@@ -1,0 +1,171 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/baseline"
+	"mrl/internal/core"
+	"mrl/internal/params"
+	"mrl/internal/stream"
+)
+
+func exactOracle(t *testing.T, data []float64) *baseline.Exact {
+	t.Helper()
+	e := baseline.NewExact()
+	for _, v := range data {
+		if err := e.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestBuildFromExactOracle(t *testing.T) {
+	data := stream.Drain(stream.Sorted(1000))
+	h, err := Build(exactOracle(t, data), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 10 || h.N != 1000 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if h.Bounds[0] != 1 || h.Bounds[10] != 1000 {
+		t.Fatalf("extreme bounds = %v, %v", h.Bounds[0], h.Bounds[10])
+	}
+	// Internal boundaries are the exact i/10-quantiles: 100, 200, ...
+	for i := 1; i < 10; i++ {
+		if h.Bounds[i] != float64(i*100) {
+			t.Errorf("bound %d = %v, want %d", i, h.Bounds[i], i*100)
+		}
+	}
+	if h.Depth() != 100 {
+		t.Fatalf("Depth = %v", h.Depth())
+	}
+}
+
+func TestEstimateRank(t *testing.T) {
+	data := stream.Drain(stream.Sorted(1000))
+	h, err := Build(exactOracle(t, data), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    float64
+		want float64
+		tol  float64
+	}{
+		{0, 0, 0},       // below min
+		{1000, 1000, 0}, // at max
+		{2000, 1000, 0}, // above max
+		{500, 500, 2},   // interior, interpolated
+		{250, 250, 2},   // interior
+		{100, 100, 1},   // on a boundary
+	}
+	for _, c := range cases {
+		if got := h.EstimateRank(c.v); math.Abs(got-c.want) > c.tol {
+			t.Errorf("EstimateRank(%v) = %v, want %v +/- %v", c.v, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	data := stream.Drain(stream.Sorted(1000))
+	h, err := Build(exactOracle(t, data), 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Selectivity(1, 1000); math.Abs(got-1) > 0.01 {
+		t.Errorf("full-range selectivity = %v", got)
+	}
+	if got := h.Selectivity(250, 750); math.Abs(got-0.5) > h.SelectivityErrorBound() {
+		t.Errorf("half-range selectivity = %v", got)
+	}
+	// Swapped endpoints normalise.
+	if a, b := h.Selectivity(250, 750), h.Selectivity(750, 250); a != b {
+		t.Errorf("swapped endpoints: %v vs %v", a, b)
+	}
+	if got := h.Selectivity(-10, -5); got != 0 {
+		t.Errorf("out-of-range selectivity = %v", got)
+	}
+}
+
+func TestBuildFromSketchWithinErrorBound(t *testing.T) {
+	const n = 100000
+	const eps = 0.005
+	plan, err := params.OptimizeNew(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := plan.NewSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Each(stream.Shuffled(n, 7), s.Add); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(s, 10, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each boundary i sits at value = rank in a permutation of 1..n; the
+	// i/10-quantile must be within eps*n of i*n/10.
+	for i := 1; i < 10; i++ {
+		want := float64(i) * n / 10
+		if diff := math.Abs(h.Bounds[i] - want); diff > eps*n+1 {
+			t.Errorf("boundary %d = %v, want %v +/- %v", i, h.Bounds[i], want, eps*n)
+		}
+	}
+	// Selectivity over a known range must respect the published bound.
+	got := h.Selectivity(20000, 60000)
+	if math.Abs(got-0.4) > h.SelectivityErrorBound() {
+		t.Errorf("selectivity = %v, want 0.4 +/- %v", got, h.SelectivityErrorBound())
+	}
+}
+
+func TestSelectivityErrorBound(t *testing.T) {
+	h := &EquiDepth{Bounds: make([]float64, 11), N: 100, Epsilon: 0.01}
+	if got := h.SelectivityErrorBound(); math.Abs(got-2*(0.1+0.01)) > 1e-12 {
+		t.Fatalf("SelectivityErrorBound = %v", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	e := exactOracle(t, []float64{1, 2, 3})
+	if _, err := Build(e, 0, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := Build(e, 5, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	empty := baseline.NewExact()
+	if _, err := Build(empty, 5, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBuildHeavyDuplicates(t *testing.T) {
+	// A column with 3 distinct values: boundaries collapse onto duplicates
+	// and must stay monotone.
+	s, err := core.NewSketch(4, 16, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := s.Add(float64(i % 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := Build(s, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(h.Bounds); i++ {
+		if h.Bounds[i] < h.Bounds[i-1] {
+			t.Fatalf("bounds not monotone: %v", h.Bounds)
+		}
+	}
+	if got := h.Selectivity(0, 2); math.Abs(got-1) > 0.2 {
+		t.Errorf("full-domain selectivity = %v", got)
+	}
+}

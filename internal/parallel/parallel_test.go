@@ -1,0 +1,223 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+func shuffledData(n int, seed int64) []float64 {
+	return stream.Drain(stream.Shuffled(int64(n), seed))
+}
+
+func TestQuantilesSingleWorkerMatchesSerial(t *testing.T) {
+	data := shuffledData(5000, 1)
+	res, err := Quantiles(Partition(data, 1), 5, 32, core.PolicyNew, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.NewSketch(5, 32, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.AddSlice(data); err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != want {
+		t.Fatalf("parallel(1) = %v, serial = %v", res.Values[0], want)
+	}
+	if res.Count != 5000 || res.Workers != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestQuantilesAccuracyAcrossWorkers(t *testing.T) {
+	const n = 40000
+	data := shuffledData(n, 2)
+	phis := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		res, err := Quantiles(Partition(data, workers), 5, 64, core.PolicyNew, phis)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Count != n {
+			t.Fatalf("workers=%d: count %d", workers, res.Count)
+		}
+		for i, phi := range phis {
+			want := math.Ceil(phi * n)
+			if diff := math.Abs(res.Values[i] - want); diff > res.ErrorBound+1 {
+				t.Errorf("workers=%d phi=%v: error %v exceeds bound %v",
+					workers, phi, diff, res.ErrorBound)
+			}
+		}
+	}
+}
+
+// TestErrorBoundTightensRelativeToNaive: the combined bound must stay small
+// relative to N — partitioning shouldn't destroy the guarantee.
+func TestCombinedBoundReasonable(t *testing.T) {
+	const n = 40000
+	data := shuffledData(n, 3)
+	res, err := Quantiles(Partition(data, 8), 6, 128, core.PolicyNew, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound > 0.05*n {
+		t.Fatalf("combined bound %v too loose for n=%d", res.ErrorBound, n)
+	}
+}
+
+func TestCombineSkipsEmptySketches(t *testing.T) {
+	a, err := core.NewSketch(3, 8, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewSketch(3, 8, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := a.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Combine([]*core.Sketch{a, b}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 || res.Count != 100 {
+		t.Fatalf("res = %+v", res)
+	}
+	if math.Abs(res.Values[0]-50) > res.ErrorBound+1 {
+		t.Fatalf("median %v too far from 50", res.Values[0])
+	}
+}
+
+func TestCombineAllEmpty(t *testing.T) {
+	a, _ := core.NewSketch(3, 8, core.PolicyNew)
+	if _, err := Combine([]*core.Sketch{a}, []float64{0.5}); err != core.ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := Combine(nil, []float64{0.5}); err == nil {
+		t.Fatal("nil sketches accepted")
+	}
+}
+
+func TestQuantilesValidation(t *testing.T) {
+	if _, err := Quantiles(nil, 3, 8, core.PolicyNew, []float64{0.5}); err == nil {
+		t.Error("no sources accepted")
+	}
+	data := shuffledData(100, 4)
+	if _, err := Quantiles(Partition(data, 2), 1, 8, core.PolicyNew, []float64{0.5}); err == nil {
+		t.Error("b=1 accepted")
+	}
+	if _, err := Quantiles(Partition(data, 2), 3, 8, core.PolicyNew, []float64{1.5}); err == nil {
+		t.Error("phi > 1 accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7}
+	parts := Partition(data, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var total int64
+	sizes := []int64{}
+	for _, p := range parts {
+		sizes = append(sizes, p.Len())
+		total += p.Len()
+	}
+	if total != 7 {
+		t.Fatalf("sizes %v sum to %d", sizes, total)
+	}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Fatalf("sizes %v, want [3 2 2]", sizes)
+	}
+	// Degenerate arguments clamp rather than fail.
+	if got := Partition(data, 0); len(got) != 1 {
+		t.Fatalf("p=0 gave %d parts", len(got))
+	}
+	if got := Partition(data[:2], 5); len(got) != 2 {
+		t.Fatalf("p>len gave %d parts", len(got))
+	}
+}
+
+func TestTwoStageAccuracy(t *testing.T) {
+	const n = 40000
+	data := shuffledData(n, 5)
+	parts := Partition(data, 16)
+	sketches := make([]*core.Sketch, len(parts))
+	for i, p := range parts {
+		s, err := core.NewSketch(5, 64, core.PolicyNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Each(p, s.Add); err != nil {
+			t.Fatal(err)
+		}
+		sketches[i] = s
+	}
+	phis := []float64{0.25, 0.5, 0.75}
+	res, err := TwoStage(sketches, 4, 256, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 16 || res.Count != n {
+		t.Fatalf("res = %+v", res)
+	}
+	for i, phi := range phis {
+		want := math.Ceil(phi * n)
+		if diff := math.Abs(res.Values[i] - want); diff > res.ErrorBound+1 {
+			t.Errorf("phi=%v: error %v exceeds two-stage bound %v", phi, diff, res.ErrorBound)
+		}
+		if math.IsInf(res.Values[i], 0) || math.IsNaN(res.Values[i]) {
+			t.Errorf("phi=%v: non-finite estimate %v", phi, res.Values[i])
+		}
+	}
+	// The two-stage bound is strictly looser than single-stage combination.
+	single, err := Combine(sketches, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound < single.ErrorBound {
+		t.Errorf("two-stage bound %v below single-stage %v", res.ErrorBound, single.ErrorBound)
+	}
+}
+
+func TestTwoStageValidation(t *testing.T) {
+	s, _ := core.NewSketch(3, 8, core.PolicyNew)
+	if _, err := TwoStage(nil, 2, 8, []float64{0.5}); err == nil {
+		t.Error("no sketches accepted")
+	}
+	if _, err := TwoStage([]*core.Sketch{s}, 0, 8, []float64{0.5}); err == nil {
+		t.Error("group size 0 accepted")
+	}
+	if _, err := TwoStage([]*core.Sketch{s}, 2, 0, []float64{0.5}); err == nil {
+		t.Error("group keep 0 accepted")
+	}
+	if _, err := TwoStage([]*core.Sketch{s}, 2, 8, []float64{0.5}); err != core.ErrEmpty {
+		t.Error("empty sketches should yield ErrEmpty")
+	}
+}
+
+// TestParallelLinearSpeedupShape is a smoke check of the Section 4.9
+// scaling claim: with 8 workers over 8 partitions the combined answer is
+// still within bound (throughput itself is exercised by the benchmarks).
+func TestParallelManyWorkers(t *testing.T) {
+	const n = 64000
+	data := shuffledData(n, 6)
+	res, err := Quantiles(Partition(data, 32), 5, 64, core.PolicyNew, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Values[0] - n/2); diff > res.ErrorBound+1 {
+		t.Fatalf("32-way median error %v exceeds bound %v", diff, res.ErrorBound)
+	}
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrl/internal/core"
+)
+
+// TestPropertyPartitioningPreservesGuarantee: any random partitioning of a
+// permutation stream across any worker count keeps every combined quantile
+// within the combined bound.
+func TestPropertyPartitioningPreservesGuarantee(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 500 + r.Intn(20000)
+		workers := 1 + r.Intn(12)
+		b := 3 + r.Intn(4)
+		k := 8 + r.Intn(64)
+		policy := core.Policies[r.Intn(len(core.Policies))]
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i + 1)
+		}
+		r.Shuffle(n, func(i, j int) { data[i], data[j] = data[j], data[i] })
+		res, err := Quantiles(Partition(data, workers), b, k, policy, []float64{0.1, 0.5, 0.9})
+		if err != nil {
+			return false
+		}
+		for i, phi := range []float64{0.1, 0.5, 0.9} {
+			want := math.Ceil(phi * float64(n))
+			if want < 1 {
+				want = 1
+			}
+			if math.Abs(res.Values[i]-want) > res.ErrorBound+1 {
+				t.Logf("seed=%d n=%d workers=%d %v b=%d k=%d phi=%v: got %v want %v bound %v",
+					seed, n, workers, policy, b, k, phi, res.Values[i], want, res.ErrorBound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTwoStageWithinBound: the same property for the grouped
+// two-stage combination, across random group geometries.
+func TestPropertyTwoStageWithinBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2000 + r.Intn(20000)
+		workers := 4 + r.Intn(16)
+		groupSize := 2 + r.Intn(4)
+		groupKeep := 16 + r.Intn(256)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i + 1)
+		}
+		r.Shuffle(n, func(i, j int) { data[i], data[j] = data[j], data[i] })
+		parts := Partition(data, workers)
+		sketches := make([]*core.Sketch, len(parts))
+		for i, p := range parts {
+			s, err := core.NewSketch(4, 32, core.PolicyNew)
+			if err != nil {
+				return false
+			}
+			for {
+				v, ok := p.Next()
+				if !ok {
+					break
+				}
+				if s.Add(v) != nil {
+					return false
+				}
+			}
+			sketches[i] = s
+		}
+		res, err := TwoStage(sketches, groupSize, groupKeep, []float64{0.5})
+		if err != nil {
+			return false
+		}
+		want := math.Ceil(0.5 * float64(n))
+		if math.Abs(res.Values[0]-want) > res.ErrorBound+1 {
+			t.Logf("seed=%d n=%d workers=%d group=%d keep=%d: got %v want %v bound %v",
+				seed, n, workers, groupSize, groupKeep, res.Values[0], want, res.ErrorBound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package params
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+)
+
+func BenchmarkOptimizeMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeMP(0.001, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeARS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeARS(0.001, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeNew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeNew(0.001, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeSampled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeSampled(0.001, 1e-4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Threshold(0.01, 1e-4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryCurve(b *testing.B) {
+	sizes := []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	for i := 0; i < b.N; i++ {
+		params := MemoryCurve(core.PolicyNew, 0.01, sizes)
+		if params[0] <= 0 {
+			b.Fatal("infeasible")
+		}
+	}
+}

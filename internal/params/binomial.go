@@ -1,0 +1,68 @@
+package params
+
+import "math"
+
+// satCap is the saturation ceiling for the combinatorial arithmetic below.
+// Every quantity ever compared against it is at most 2*epsilon*N, which for
+// the domain of this package (N <= ~1e12) stays far below the cap, so
+// saturated values can simply be treated as "constraint violated".
+const satCap = int64(1) << 60
+
+// satMul multiplies two non-negative int64 values, saturating at satCap.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a >= satCap || b >= satCap || a > satCap/b {
+		return satCap
+	}
+	return a * b
+}
+
+// satAdd adds two non-negative int64 values, saturating at satCap.
+func satAdd(a, b int64) int64 {
+	if a >= satCap || b >= satCap || a+b >= satCap {
+		return satCap
+	}
+	return a + b
+}
+
+// binomial returns C(n, r), saturating at satCap. Arguments outside the
+// usual domain return 0, matching the convention C(n, r) = 0 for r < 0 or
+// r > n used by the paper's height formulas at small h.
+func binomial(n, r int64) int64 {
+	if r < 0 || n < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	var c int64 = 1
+	for i := int64(1); i <= r; i++ {
+		// c = c * (n - r + i) / i stays integral at every step because it
+		// equals C(n-r+i, i) after the division.
+		f := n - r + i
+		if c >= satCap || c > satCap/f {
+			return satCap
+		}
+		c = c * f / i
+	}
+	return c
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// ceilFrac returns ceil(x) as an int64, guarding against overflow.
+func ceilFrac(x float64) int64 {
+	c := math.Ceil(x)
+	if c >= float64(satCap) {
+		return satCap
+	}
+	if c < 0 {
+		return 0
+	}
+	return int64(c)
+}

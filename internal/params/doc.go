@@ -1,0 +1,10 @@
+// Package params implements the parameter selection procedures of Sections
+// 4.3-4.5 and 5 of the MRL paper: given an accuracy target epsilon and a
+// dataset size N it computes the cheapest (b, k) buffer configuration whose
+// Lemma 5 guarantee stays within epsilon*N for each collapsing policy, the
+// Hoeffding sample sizes and the alpha sweep of the sampling-coupled
+// algorithm, and the to-sample-or-not-to-sample threshold of Section 5.2.
+//
+// These optimizers regenerate every entry of Table 1 and Table 2 and the
+// series plotted in Figures 7 and 8.
+package params

@@ -1,0 +1,248 @@
+package params
+
+import (
+	"fmt"
+	"math"
+
+	"mrl/internal/core"
+)
+
+// Plan is a provisioned buffer configuration for one collapsing policy: the
+// output of the Section 4 optimizers. Running the policy with B buffers of
+// K elements over at most N inputs keeps the Lemma 5 rank error within
+// Bound <= Epsilon*N.
+type Plan struct {
+	Policy core.Policy
+	// Epsilon and N are the inputs the plan was derived from.
+	Epsilon float64
+	N       int64
+	// B is the number of buffers and K the per-buffer capacity.
+	B, K int
+	// Height is the tree height used by the new-algorithm optimizer; zero
+	// for the other policies (whose tree shape is fixed by b alone).
+	Height int
+	// Leaves is the leaf capacity of the plan's tree: the run may consume up
+	// to K*Leaves elements before the policy needs fallback collapses.
+	Leaves int64
+	// Bound is the worst-case rank error (W-C-1)/2 + wmax of the plan's
+	// tree, guaranteed to be at most Epsilon*N.
+	Bound float64
+}
+
+// Memory returns the buffer footprint B*K in elements.
+func (p Plan) Memory() int64 { return int64(p.B) * int64(p.K) }
+
+// Capacity returns K*Leaves, the number of input elements the plan
+// provisions for.
+func (p Plan) Capacity() int64 { return int64(p.K) * p.Leaves }
+
+func (p Plan) String() string {
+	return fmt.Sprintf("%v{eps=%g N=%d b=%d k=%d mem=%d}", p.Policy, p.Epsilon, p.N, p.B, p.K, p.Memory())
+}
+
+// NewSketch instantiates a core sketch provisioned by the plan.
+func (p Plan) NewSketch() (*core.Sketch, error) {
+	return core.NewSketch(p.B, p.K, p.Policy)
+}
+
+func checkArgs(epsilon float64, n int64) error {
+	if !(epsilon >= 0 && epsilon < 1) || math.IsNaN(epsilon) {
+		return fmt.Errorf("params: epsilon %v outside [0,1)", epsilon)
+	}
+	if n < 1 {
+		return fmt.Errorf("params: dataset size %d must be positive", n)
+	}
+	return nil
+}
+
+// exactPlan is the degenerate configuration that buffers the entire input
+// (b = 2, k = ceil(N/2)): no collapse ever runs, so the result is exact.
+// Every optimizer offers it as a candidate, which keeps them total for
+// arbitrarily small epsilon*N.
+func exactPlan(policy core.Policy, epsilon float64, n int64) Plan {
+	return Plan{
+		Policy:  policy,
+		Epsilon: epsilon,
+		N:       n,
+		B:       2,
+		K:       int(ceilDiv(n, 2)),
+		Leaves:  2,
+		Bound:   0.5,
+	}
+}
+
+// Optimize dispatches to the policy-specific optimizer.
+func Optimize(policy core.Policy, epsilon float64, n int64) (Plan, error) {
+	switch policy {
+	case core.PolicyNew:
+		return OptimizeNew(epsilon, n)
+	case core.PolicyMunroPaterson:
+		return OptimizeMP(epsilon, n)
+	case core.PolicyARS:
+		return OptimizeARS(epsilon, n)
+	default:
+		return Plan{}, fmt.Errorf("params: unknown policy %v", policy)
+	}
+}
+
+// OptimizeMP sizes the Munro-Paterson policy (Section 4.3): the largest b
+// with (b-2)*2^(b-2) <= epsilon*N, then the smallest k with k*2^(b-1) >= N.
+func OptimizeMP(epsilon float64, n int64) (Plan, error) {
+	if err := checkArgs(epsilon, n); err != nil {
+		return Plan{}, err
+	}
+	en := epsilon * float64(n)
+	b := 2
+	for cand := 3; cand <= 62; cand++ {
+		lhs := float64(cand-2) * math.Exp2(float64(cand-2))
+		if lhs > en {
+			break
+		}
+		b = cand
+	}
+	// More buffers than leaves is wasted space: cap 2^(b-1) at N.
+	for b > 2 && math.Exp2(float64(b-1)) > float64(n) {
+		b--
+	}
+	leaves := int64(1) << (b - 1)
+	k := ceilDiv(n, leaves)
+	bound := float64(b-2)*math.Exp2(float64(b-2)) + 0.5
+	plan := Plan{
+		Policy:  core.PolicyMunroPaterson,
+		Epsilon: epsilon,
+		N:       n,
+		B:       b,
+		K:       int(k),
+		Leaves:  leaves,
+		Bound:   bound,
+	}
+	if exact := exactPlan(core.PolicyMunroPaterson, epsilon, n); exact.Memory() < plan.Memory() {
+		return exact, nil
+	}
+	return plan, nil
+}
+
+// OptimizeARS sizes the Alsabti-Ranka-Singh policy (Section 4.4): the
+// largest even b with b^2/8 + b/4 - 1/2 <= epsilon*N, then the smallest k
+// with k*b^2/4 >= N.
+func OptimizeARS(epsilon float64, n int64) (Plan, error) {
+	if err := checkArgs(epsilon, n); err != nil {
+		return Plan{}, err
+	}
+	en := epsilon * float64(n)
+	b := int64(2)
+	for cand := int64(4); cand <= 4_000_000; cand += 2 {
+		lhs := float64(cand*cand)/8 + float64(cand)/4 - 0.5
+		if lhs > en {
+			break
+		}
+		b = cand
+	}
+	// Leaves beyond N are wasted: keep b^2/4 <= N (while b stays even).
+	for b > 2 && b*b/4 > n {
+		b -= 2
+	}
+	leaves := b * b / 4
+	k := ceilDiv(n, leaves)
+	bound := float64(b*b)/8 + float64(b)/4 - 0.5
+	plan := Plan{
+		Policy:  core.PolicyARS,
+		Epsilon: epsilon,
+		N:       n,
+		B:       int(b),
+		K:       int(k),
+		Leaves:  leaves,
+		Bound:   bound,
+	}
+	if exact := exactPlan(core.PolicyARS, epsilon, n); exact.Memory() < plan.Memory() {
+		return exact, nil
+	}
+	return plan, nil
+}
+
+// maxNewHeight is the largest tree height the new-algorithm optimizer
+// explores. Heights beyond this saturate the binomial arithmetic long
+// before they become optimal for any realistic (epsilon, N).
+const maxNewHeight = 300
+
+// newTreeError returns the Lemma 5 numerator of the complete new-algorithm
+// tree with b buffers and height h >= 3:
+// (h-2)*C(b+h-2,h-1) - C(b+h-3,h-3) + C(b+h-3,h-2), saturated.
+// The Section 4.5 constraint is newTreeError(b,h) <= 2*epsilon*N.
+func newTreeError(b, h int64) int64 {
+	l := binomial(b+h-2, h-1)
+	t := satMul(h-2, l)
+	c2 := binomial(b+h-3, h-2)
+	c3 := binomial(b+h-3, h-3)
+	// t - c3 + c2 with saturation: c3 <= t always (it is part of W), so the
+	// subtraction is safe unless t saturated.
+	if t >= satCap {
+		return satCap
+	}
+	return satAdd(t-c3, c2)
+}
+
+// newTreeLeaves returns L = C(b+h-2, h-1), the leaf count of the complete
+// new-algorithm tree, saturated.
+func newTreeLeaves(b, h int64) int64 {
+	return binomial(b+h-2, h-1)
+}
+
+// OptimizeNew sizes the paper's new policy (Section 4.5): for each b it
+// finds the largest h satisfying the error constraint, derives the smallest
+// feasible k, and returns the (b, h, k) minimising b*k.
+func OptimizeNew(epsilon float64, n int64) (Plan, error) {
+	if err := checkArgs(epsilon, n); err != nil {
+		return Plan{}, err
+	}
+	en2 := ceilFrac(2 * epsilon * float64(n)) // integer form of 2*epsilon*N
+	best := exactPlan(core.PolicyNew, epsilon, n)
+	for b := int64(2); b <= 40; b++ {
+		h := int64(0)
+		for cand := int64(3); cand <= maxNewHeight; cand++ {
+			if newTreeError(b, cand) > en2 {
+				break
+			}
+			h = cand
+		}
+		if h == 0 {
+			continue
+		}
+		// Shrinking h below the maximum feasible value only increases k, so
+		// the per-b optimum is the largest feasible h — except that leaves
+		// beyond N are useless; shrink h while the tree still covers N.
+		for h > 3 && newTreeLeaves(b, h-1) >= n {
+			h--
+		}
+		leaves := newTreeLeaves(b, h)
+		k := ceilDiv(n, leaves)
+		if leaves > n {
+			leaves = n // capacity accounting; k is 1 here
+		}
+		mem := satMul(b, k)
+		if mem < best.Memory() || (mem == best.Memory() && best.Height > 0 && int(b) < best.B) {
+			best.B = int(b)
+			best.K = int(k)
+			best.Height = int(h)
+			best.Leaves = leaves
+			best.Bound = float64(newTreeError(b, h)) / 2
+		}
+	}
+	return best, nil
+}
+
+// MemoryCurve returns the memory requirement (in elements) of the given
+// policy across the supplied dataset sizes at a fixed epsilon: the series
+// plotted in Figure 7. Entries for infeasible sizes are -1.
+func MemoryCurve(policy core.Policy, epsilon float64, sizes []int64) []int64 {
+	out := make([]int64, len(sizes))
+	for i, n := range sizes {
+		plan, err := Optimize(policy, epsilon, n)
+		if err != nil {
+			out[i] = -1
+			continue
+		}
+		out[i] = plan.Memory()
+	}
+	return out
+}

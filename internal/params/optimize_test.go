@@ -1,0 +1,287 @@
+package params
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+)
+
+// Table 1 of the paper, transcribed: for each (epsilon, N) the published
+// (b, k). These are golden values the optimizers reproduce exactly.
+type table1Entry struct {
+	eps  float64
+	n    int64
+	b, k int
+}
+
+var table1MP = []table1Entry{
+	{0.100, 1e5, 11, 98}, {0.100, 1e6, 14, 123}, {0.100, 1e7, 17, 153}, {0.100, 1e8, 21, 96}, {0.100, 1e9, 24, 120},
+	{0.050, 1e5, 11, 98}, {0.050, 1e6, 14, 123}, {0.050, 1e7, 17, 153}, {0.050, 1e8, 20, 191}, {0.050, 1e9, 23, 239},
+	{0.010, 1e5, 9, 391}, {0.010, 1e6, 11, 977}, {0.010, 1e7, 14, 1221}, {0.010, 1e8, 17, 1526}, {0.010, 1e9, 21, 954},
+	{0.005, 1e5, 8, 782}, {0.005, 1e6, 11, 977}, {0.005, 1e7, 14, 1221}, {0.005, 1e8, 17, 1526}, {0.005, 1e9, 20, 1908},
+	{0.001, 1e5, 6, 3125}, {0.001, 1e6, 9, 3907}, {0.001, 1e7, 11, 9766}, {0.001, 1e8, 14, 12208}, {0.001, 1e9, 17, 15259},
+}
+
+var table1ARS = []table1Entry{
+	{0.100, 1e5, 280, 6}, {0.100, 1e6, 892, 6}, {0.100, 1e7, 2826, 6}, {0.100, 1e8, 8942, 6}, {0.100, 1e9, 28282, 6},
+	{0.050, 1e5, 198, 11}, {0.050, 1e6, 630, 11}, {0.050, 1e7, 1998, 11}, {0.050, 1e8, 6322, 11}, {0.050, 1e9, 19998, 11},
+	{0.010, 1e5, 88, 52}, {0.010, 1e6, 280, 52}, {0.010, 1e7, 892, 51}, {0.010, 1e8, 2826, 51}, {0.010, 1e9, 8942, 51},
+	{0.005, 1e5, 62, 105}, {0.005, 1e6, 198, 103}, {0.005, 1e7, 630, 101}, {0.005, 1e8, 1998, 101}, {0.005, 1e9, 6322, 101},
+	{0.001, 1e5, 26, 592}, {0.001, 1e6, 88, 517}, {0.001, 1e7, 280, 511}, {0.001, 1e8, 892, 503}, {0.001, 1e9, 2826, 501},
+}
+
+var table1New = []table1Entry{
+	{0.100, 1e5, 5, 55}, {0.100, 1e6, 7, 54}, {0.100, 1e7, 10, 60}, {0.100, 1e8, 15, 51}, {0.100, 1e9, 12, 77},
+	{0.050, 1e5, 6, 78}, {0.050, 1e6, 6, 117}, {0.050, 1e7, 8, 129}, {0.050, 1e8, 7, 211}, {0.050, 1e9, 8, 235},
+	{0.010, 1e5, 7, 217}, {0.010, 1e6, 12, 229}, {0.010, 1e7, 9, 412}, {0.010, 1e8, 10, 596}, {0.010, 1e9, 10, 765},
+	{0.005, 1e5, 3, 953}, {0.005, 1e6, 8, 583}, {0.005, 1e7, 8, 875}, {0.005, 1e8, 8, 1290}, {0.005, 1e9, 7, 2106},
+	{0.001, 1e5, 3, 2778}, {0.001, 1e6, 5, 3031}, {0.001, 1e7, 5, 5495}, {0.001, 1e8, 9, 4114}, {0.001, 1e9, 10, 5954},
+}
+
+func TestOptimizeMPMatchesTable1(t *testing.T) {
+	for _, e := range table1MP {
+		plan, err := OptimizeMP(e.eps, e.n)
+		if err != nil {
+			t.Fatalf("OptimizeMP(%g, %d): %v", e.eps, e.n, err)
+		}
+		if plan.B != e.b || plan.K != e.k {
+			t.Errorf("OptimizeMP(%g, %d) = (b=%d, k=%d), Table 1 says (b=%d, k=%d)",
+				e.eps, e.n, plan.B, plan.K, e.b, e.k)
+		}
+	}
+}
+
+func TestOptimizeARSMatchesTable1(t *testing.T) {
+	for _, e := range table1ARS {
+		plan, err := OptimizeARS(e.eps, e.n)
+		if err != nil {
+			t.Fatalf("OptimizeARS(%g, %d): %v", e.eps, e.n, err)
+		}
+		if plan.B != e.b || plan.K != e.k {
+			t.Errorf("OptimizeARS(%g, %d) = (b=%d, k=%d), Table 1 says (b=%d, k=%d)",
+				e.eps, e.n, plan.B, plan.K, e.b, e.k)
+		}
+	}
+}
+
+func TestOptimizeNewMatchesTable1(t *testing.T) {
+	for _, e := range table1New {
+		plan, err := OptimizeNew(e.eps, e.n)
+		if err != nil {
+			t.Fatalf("OptimizeNew(%g, %d): %v", e.eps, e.n, err)
+		}
+		if plan.B != e.b || plan.K != e.k {
+			t.Errorf("OptimizeNew(%g, %d) = (b=%d, k=%d), Table 1 says (b=%d, k=%d)",
+				e.eps, e.n, plan.B, plan.K, e.b, e.k)
+		}
+	}
+}
+
+// TestNewBeatsOthersOnTable1 pins Section 4.6's conclusion: the new
+// algorithm needs the least memory on every Table 1 cell.
+func TestNewBeatsOthersOnTable1(t *testing.T) {
+	for _, e := range table1New {
+		nw, err := OptimizeNew(e.eps, e.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := OptimizeMP(e.eps, e.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ars, err := OptimizeARS(e.eps, e.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Memory() > mp.Memory() || nw.Memory() > ars.Memory() {
+			t.Errorf("eps=%g N=%d: new=%d mp=%d ars=%d — new is not the minimum",
+				e.eps, e.n, nw.Memory(), mp.Memory(), ars.Memory())
+		}
+	}
+}
+
+func TestPlanConstraintsHold(t *testing.T) {
+	for _, e := range table1New {
+		for _, pol := range core.Policies {
+			plan, err := Optimize(pol, e.eps, e.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Bound > e.eps*float64(e.n) {
+				t.Errorf("%v eps=%g N=%d: bound %v exceeds eps*N %v",
+					pol, e.eps, e.n, plan.Bound, e.eps*float64(e.n))
+			}
+			if plan.Capacity() < e.n {
+				t.Errorf("%v eps=%g N=%d: capacity %d below N", pol, e.eps, e.n, plan.Capacity())
+			}
+			if plan.B < 2 || plan.K < 1 {
+				t.Errorf("%v eps=%g N=%d: degenerate plan %+v", pol, e.eps, e.n, plan)
+			}
+		}
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	for _, pol := range core.Policies {
+		if _, err := Optimize(pol, -0.1, 100); err == nil {
+			t.Errorf("%v: negative epsilon accepted", pol)
+		}
+		if _, err := Optimize(pol, 1.5, 100); err == nil {
+			t.Errorf("%v: epsilon > 1 accepted", pol)
+		}
+		if _, err := Optimize(pol, 0.01, 0); err == nil {
+			t.Errorf("%v: N = 0 accepted", pol)
+		}
+	}
+	if _, err := Optimize(core.Policy(77), 0.01, 100); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestTinyDatasetsAlwaysFeasible: the exact fallback plan keeps the
+// optimizers total even when epsilon*N is far below 1.
+func TestTinyDatasetsAlwaysFeasible(t *testing.T) {
+	for _, pol := range core.Policies {
+		for _, n := range []int64{1, 2, 3, 10, 100} {
+			plan, err := Optimize(pol, 0.0001, n)
+			if err != nil {
+				t.Fatalf("%v N=%d: %v", pol, n, err)
+			}
+			if plan.Capacity() < n {
+				t.Errorf("%v N=%d: capacity %d too small", pol, n, plan.Capacity())
+			}
+			if plan.Bound > 0.0001*float64(n)+0.5 {
+				t.Errorf("%v N=%d: bound %v not near-exact", pol, n, plan.Bound)
+			}
+		}
+	}
+}
+
+// TestExactPlanZeroEpsilon: epsilon = 0 demands exactness, which only the
+// store-everything plan delivers; b*k must be about N (Pohl's N/2-per-
+// buffer lower bound shape).
+func TestExactPlanZeroEpsilon(t *testing.T) {
+	plan, err := OptimizeNew(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.B != 2 || plan.K != 500 {
+		t.Fatalf("exact plan = %+v, want b=2 k=500", plan)
+	}
+}
+
+func TestMemoryCurveShape(t *testing.T) {
+	sizes := []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	nw := MemoryCurve(core.PolicyNew, 0.01, sizes)
+	mp := MemoryCurve(core.PolicyMunroPaterson, 0.01, sizes)
+	ars := MemoryCurve(core.PolicyARS, 0.01, sizes)
+	for i := range sizes {
+		if nw[i] <= 0 || mp[i] <= 0 || ars[i] <= 0 {
+			t.Fatalf("infeasible point at N=%d: new=%d mp=%d ars=%d", sizes[i], nw[i], mp[i], ars[i])
+		}
+		if nw[i] > mp[i] || nw[i] > ars[i] {
+			t.Errorf("N=%d: new=%d not minimal (mp=%d ars=%d)", sizes[i], nw[i], mp[i], ars[i])
+		}
+	}
+	// Figure 7's divergence: ARS grows like sqrt(N) and must dwarf the
+	// other two at N = 1e9.
+	if ars[len(ars)-1] < 4*nw[len(nw)-1] {
+		t.Errorf("ARS at 1e9 (%d) not clearly above new (%d)", ars[len(ars)-1], nw[len(nw)-1])
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, r, want int64 }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.r); got != c.want {
+			t.Errorf("binomial(%d, %d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+	if got := binomial(200, 100); got != satCap {
+		t.Errorf("binomial(200,100) = %d, want saturation %d", got, satCap)
+	}
+}
+
+func TestSatArithmetic(t *testing.T) {
+	if satMul(satCap, 2) != satCap || satMul(2, satCap) != satCap {
+		t.Error("satMul does not saturate")
+	}
+	if satMul(3, 4) != 12 {
+		t.Error("satMul(3,4) != 12")
+	}
+	if satMul(0, satCap) != 0 {
+		t.Error("satMul(0, cap) != 0")
+	}
+	if satAdd(satCap, 1) != satCap || satAdd(satCap-1, 5) != satCap {
+		t.Error("satAdd does not saturate")
+	}
+	if satAdd(3, 4) != 7 {
+		t.Error("satAdd(3,4) != 7")
+	}
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 {
+		t.Error("ceilDiv wrong")
+	}
+	if ceilFrac(2.1) != 3 || ceilFrac(-1) != 0 || ceilFrac(1e30) != satCap {
+		t.Error("ceilFrac wrong")
+	}
+}
+
+// TestNewTreeClosedForms spot-checks the Section 4.5 combinatorics against
+// hand-computed values.
+func TestNewTreeClosedForms(t *testing.T) {
+	// b=5, h=13: L = C(16,12) = 1820 (the Table 1 eps=0.1, N=1e5 tree).
+	if got := newTreeLeaves(5, 13); got != 1820 {
+		t.Errorf("newTreeLeaves(5,13) = %d, want 1820", got)
+	}
+	// b=5, h=3: error numerator = 1*C(6,2) - C(5,0) + C(5,1) = 15 - 1 + 5.
+	if got := newTreeError(5, 3); got != 19 {
+		t.Errorf("newTreeError(5,3) = %d, want 19", got)
+	}
+	// b=5, h=14 must be infeasible at 2*eps*N = 20000 while h=13 fits.
+	if got := newTreeError(5, 14); got <= 20000 {
+		t.Errorf("newTreeError(5,14) = %d, want > 20000", got)
+	}
+	if got := newTreeError(5, 13); got > 20000 {
+		t.Errorf("newTreeError(5,13) = %d, want <= 20000", got)
+	}
+}
+
+// TestRuntimeRespectsPlans runs provisioned sketches at full capacity and
+// checks that no fallback collapses occur and the live bound stays within
+// the plan's promise. This ties the optimizer's static tree model to the
+// adaptive runtime schedule.
+func TestRuntimeRespectsPlans(t *testing.T) {
+	cases := []struct {
+		eps float64
+		n   int64
+	}{
+		{0.1, 2000}, {0.05, 5000}, {0.01, 20000}, {0.005, 50000},
+	}
+	for _, c := range cases {
+		for _, pol := range core.Policies {
+			plan, err := Optimize(pol, c.eps, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := plan.NewSketch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < c.n; i++ {
+				if err := s.Add(float64(i * 7919 % c.n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if f := s.Stats().Fallbacks; f != 0 {
+				t.Errorf("%v eps=%g n=%d: %d fallbacks within plan capacity", pol, c.eps, c.n, f)
+			}
+			if got := s.ErrorBound(); got > c.eps*float64(c.n)+1 {
+				t.Errorf("%v eps=%g n=%d: live bound %v exceeds promised %v",
+					pol, c.eps, c.n, got, c.eps*float64(c.n))
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package params
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrl/internal/core"
+)
+
+// TestPropertyPlansAlwaysSound: for random (epsilon, N) every optimizer
+// must return a plan whose Lemma 5 bound respects epsilon*N and whose leaf
+// capacity covers N.
+func TestPropertyPlansAlwaysSound(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eps := []float64{0.3, 0.1, 0.05, 0.01, 0.003, 0.001, 0.0003}[r.Intn(7)]
+		n := int64(1) + int64(r.Float64()*1e9)
+		for _, pol := range core.Policies {
+			plan, err := Optimize(pol, eps, n)
+			if err != nil {
+				t.Logf("seed=%d %v eps=%g n=%d: %v", seed, pol, eps, n, err)
+				return false
+			}
+			if plan.Bound > eps*float64(n) {
+				t.Logf("seed=%d %v eps=%g n=%d: bound %v > eps*N", seed, pol, eps, n, plan.Bound)
+				return false
+			}
+			if plan.Capacity() < n {
+				t.Logf("seed=%d %v eps=%g n=%d: capacity %d < N", seed, pol, eps, n, plan.Capacity())
+				return false
+			}
+			if plan.B < 2 || plan.K < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMemoryMonotoneInEpsilon: tightening epsilon can only cost
+// more (or equal) memory for the new algorithm at fixed N.
+func TestPropertyMemoryMonotoneInEpsilon(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int64(1000) + int64(r.Float64()*1e8)
+		epsLoose := 0.001 + r.Float64()*0.2
+		epsTight := epsLoose * (0.1 + 0.8*r.Float64())
+		loose, err := OptimizeNew(epsLoose, n)
+		if err != nil {
+			return false
+		}
+		tight, err := OptimizeNew(epsTight, n)
+		if err != nil {
+			return false
+		}
+		if tight.Memory() < loose.Memory() {
+			t.Logf("seed=%d n=%d: eps %g -> %d elems, tighter %g -> %d elems",
+				seed, n, epsLoose, loose.Memory(), epsTight, tight.Memory())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySampledMemoryIndependentOfN: once the optimizer decides to
+// sample, memory depends only on (epsilon, delta, p).
+func TestPropertySampledMemoryIndependentOfN(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eps := []float64{0.05, 0.02, 0.01}[r.Intn(3)]
+		delta := []float64{1e-2, 1e-3, 1e-4}[r.Intn(3)]
+		n1 := int64(1e9) + int64(r.Float64()*1e10)
+		n2 := int64(1e9) + int64(r.Float64()*1e10)
+		p1, err := OptimizeSampledDataset(eps, delta, n1, 1)
+		if err != nil || !p1.Sampled {
+			return err == nil // not sampling at 1e9+ would itself be odd but not this property
+		}
+		p2, err := OptimizeSampledDataset(eps, delta, n2, 1)
+		if err != nil {
+			return false
+		}
+		return p2.Sampled && p1.Memory() == p2.Memory() && p1.SampleSize == p2.SampleSize
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRuntimeHonoursRandomPlans: random plans run at their full
+// declared capacity never fall back and never exceed their bound.
+func TestPropertyRuntimeHonoursRandomPlans(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eps := 0.005 + r.Float64()*0.1
+		n := int64(500) + int64(r.Float64()*30000)
+		pol := core.Policies[r.Intn(len(core.Policies))]
+		plan, err := Optimize(pol, eps, n)
+		if err != nil {
+			return false
+		}
+		s, err := plan.NewSketch()
+		if err != nil {
+			return false
+		}
+		for i := int64(0); i < n; i++ {
+			if s.Add(r.Float64()) != nil {
+				return false
+			}
+		}
+		if s.Stats().Fallbacks != 0 {
+			t.Logf("seed=%d %v eps=%g n=%d plan=%+v: fallbacks", seed, pol, eps, n, plan)
+			return false
+		}
+		if s.ErrorBound() > eps*float64(n)+1 {
+			t.Logf("seed=%d %v eps=%g n=%d: bound %v", seed, pol, eps, n, s.ErrorBound())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampledPlan provisions the sampling-coupled algorithm of Section 5: draw
+// S random samples from the stream, feed them to the new deterministic
+// algorithm at accuracy Epsilon1 = Alpha*Epsilon, and rely on Lemma 7 to
+// absorb the remaining Epsilon2 = (1-Alpha)*Epsilon with probability at
+// least 1-Delta.
+type SampledPlan struct {
+	// Plan is the deterministic plan run over the sample. Its Epsilon field
+	// holds Epsilon1 and its N field holds SampleSize when Sampled, or the
+	// original (Epsilon, N) when the optimizer decided not to sample.
+	Plan
+	// Sampled reports whether sampling is worthwhile: false means the
+	// dataset is small enough that the deterministic algorithm is cheaper
+	// (Section 5.2), and the embedded Plan applies to the raw stream.
+	Sampled bool
+	// Alpha splits epsilon: Epsilon1 = Alpha*Epsilon goes to the
+	// deterministic algorithm, Epsilon2 = (1-Alpha)*Epsilon to sampling.
+	Alpha float64
+	// Epsilon is the overall accuracy target; Delta the failure probability.
+	Epsilon, Delta float64
+	// SampleSize is S, the Hoeffding sample size of Lemma 7. It is
+	// independent of the dataset size.
+	SampleSize int64
+	// Quantiles is the number p of simultaneous quantiles the Section 5.3
+	// union bound provisions for.
+	Quantiles int
+}
+
+// Epsilon1 returns the accuracy demanded of the deterministic stage.
+func (p SampledPlan) Epsilon1() float64 {
+	if !p.Sampled {
+		return p.Epsilon
+	}
+	return p.Alpha * p.Epsilon
+}
+
+// Epsilon2 returns the accuracy absorbed by sampling.
+func (p SampledPlan) Epsilon2() float64 {
+	if !p.Sampled {
+		return 0
+	}
+	return (1 - p.Alpha) * p.Epsilon
+}
+
+// SampleSize returns the Lemma 7 / Section 5.3 Hoeffding sample size: the
+// smallest S with S >= ln(2p/delta) / (2*epsilon2^2), which guarantees with
+// probability at least 1-delta that all p quantiles of the sample are
+// within epsilon2 of the corresponding dataset quantiles.
+func SampleSize(epsilon2, delta float64, p int) (int64, error) {
+	if !(epsilon2 > 0 && epsilon2 < 1) {
+		return 0, fmt.Errorf("params: epsilon2 %v outside (0,1)", epsilon2)
+	}
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("params: delta %v outside (0,1)", delta)
+	}
+	if p < 1 {
+		return 0, fmt.Errorf("params: quantile count %d must be positive", p)
+	}
+	s := math.Log(2*float64(p)/delta) / (2 * epsilon2 * epsilon2)
+	return ceilFrac(s), nil
+}
+
+// alphaSweep mirrors Section 5.1: alpha in [0.2, 0.8] in steps of 0.001.
+const (
+	alphaMin  = 0.2
+	alphaMax  = 0.8
+	alphaStep = 0.001
+)
+
+// OptimizeSampled finds the alpha in [0.2, 0.8] minimising the memory of
+// the sampling-coupled algorithm for p simultaneous quantiles, independent
+// of the dataset size (Table 2).
+func OptimizeSampled(epsilon, delta float64, p int) (SampledPlan, error) {
+	if !(epsilon > 0 && epsilon < 1) || math.IsNaN(epsilon) {
+		return SampledPlan{}, fmt.Errorf("params: epsilon %v outside (0,1)", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return SampledPlan{}, fmt.Errorf("params: delta %v outside (0,1)", delta)
+	}
+	if p < 1 {
+		return SampledPlan{}, fmt.Errorf("params: quantile count %d must be positive", p)
+	}
+	var best SampledPlan
+	found := false
+	for alpha := alphaMin; alpha <= alphaMax+alphaStep/2; alpha += alphaStep {
+		e2 := (1 - alpha) * epsilon
+		s, err := SampleSize(e2, delta, p)
+		if err != nil {
+			continue
+		}
+		plan, err := OptimizeNew(alpha*epsilon, s)
+		if err != nil {
+			continue
+		}
+		if !found || plan.Memory() < best.Memory() {
+			best = SampledPlan{
+				Plan:       plan,
+				Sampled:    true,
+				Alpha:      alpha,
+				Epsilon:    epsilon,
+				Delta:      delta,
+				SampleSize: s,
+				Quantiles:  p,
+			}
+			found = true
+		}
+	}
+	if !found {
+		return SampledPlan{}, fmt.Errorf("params: no feasible sampled plan for epsilon=%g delta=%g", epsilon, delta)
+	}
+	return best, nil
+}
+
+// OptimizeSampledDataset answers Section 5.2's "to sample or not to sample"
+// for a concrete dataset size: it returns the sampled plan when sampling
+// wins (S below N and less memory than the deterministic optimum) and a
+// deterministic plan wrapped in a SampledPlan otherwise.
+func OptimizeSampledDataset(epsilon, delta float64, n int64, p int) (SampledPlan, error) {
+	det, detErr := OptimizeNew(epsilon, n)
+	sampled, sErr := OptimizeSampled(epsilon, delta, p)
+	switch {
+	case detErr != nil && sErr != nil:
+		return SampledPlan{}, fmt.Errorf("params: neither plan feasible: %v; %v", detErr, sErr)
+	case detErr == nil && (sErr != nil || sampled.SampleSize >= n || det.Memory() <= sampled.Memory()):
+		return SampledPlan{
+			Plan:      det,
+			Sampled:   false,
+			Epsilon:   epsilon,
+			Delta:     delta,
+			Quantiles: p,
+		}, nil
+	default:
+		return sampled, nil
+	}
+}
+
+// Threshold computes the Section 5.2 / Figure 8 threshold: the largest
+// dataset size for which the deterministic new algorithm needs no more
+// memory than the sampling-coupled algorithm at (epsilon, delta). Above the
+// returned N, sampling wins.
+func Threshold(epsilon, delta float64, p int) (int64, error) {
+	sampled, err := OptimizeSampled(epsilon, delta, p)
+	if err != nil {
+		return 0, err
+	}
+	budget := sampled.Memory()
+	within := func(n int64) bool {
+		plan, err := OptimizeNew(epsilon, n)
+		return err == nil && plan.Memory() <= budget
+	}
+	// The deterministic memory curve is nondecreasing in N up to integer
+	// jitter; find an upper bracket by doubling, then bisect.
+	lo := int64(1)
+	hi := int64(2)
+	for within(hi) {
+		lo = hi
+		if hi > satCap/2 {
+			return hi, nil
+		}
+		hi *= 2
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if within(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

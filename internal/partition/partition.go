@@ -1,0 +1,142 @@
+// Package partition generates splitters for value-range data partitioning
+// (Section 1.1): parallel database systems and distributed sorts divide
+// data into approximately equal ranges by splitting at the i/p-quantiles.
+// With an eps-approximate estimator every partition's size is within
+// 2*eps*N of the ideal N/p, which bounds the completion-time spread of a
+// shared-nothing sort — the Section 1.2 cost proxy this package also
+// models.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mrl/internal/stream"
+)
+
+// Quantiler is the slice of the sketch API splitter generation needs.
+type Quantiler interface {
+	Quantiles(phis []float64) ([]float64, error)
+	Count() int64
+}
+
+// Splitters returns parts-1 splitter values at the i/parts-quantiles.
+// Partition i receives values v with splitters[i-1] < v <= splitters[i]
+// (partition 0 takes everything up to splitters[0]).
+func Splitters(q Quantiler, parts int) ([]float64, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 partitions, got %d", parts)
+	}
+	if q.Count() == 0 {
+		return nil, errors.New("partition: empty input")
+	}
+	phis := make([]float64, parts-1)
+	for i := range phis {
+		phis[i] = float64(i+1) / float64(parts)
+	}
+	sp, err := q.Quantiles(phis)
+	if err != nil {
+		return nil, fmt.Errorf("partition: querying splitters: %w", err)
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			sp[i] = sp[i-1]
+		}
+	}
+	return sp, nil
+}
+
+// Assign returns the partition index for v under the given splitters.
+func Assign(splitters []float64, v float64) int {
+	return sort.Search(len(splitters), func(i int) bool { return splitters[i] >= v })
+}
+
+// Balance records the realised partition sizes of a dataset under a set of
+// splitters.
+type Balance struct {
+	Sizes []int64
+	N     int64
+}
+
+// Evaluate replays src through Assign and tallies partition sizes.
+func Evaluate(src stream.Source, splitters []float64) (Balance, error) {
+	if len(splitters) == 0 {
+		return Balance{}, errors.New("partition: no splitters")
+	}
+	b := Balance{Sizes: make([]int64, len(splitters)+1)}
+	err := stream.Each(src, func(v float64) error {
+		b.Sizes[Assign(splitters, v)]++
+		b.N++
+		return nil
+	})
+	if err != nil {
+		return Balance{}, err
+	}
+	if b.N == 0 {
+		return Balance{}, errors.New("partition: empty source")
+	}
+	return b, nil
+}
+
+// Ideal returns the perfectly balanced partition size N/p.
+func (b Balance) Ideal() float64 { return float64(b.N) / float64(len(b.Sizes)) }
+
+// MaxSize returns the largest partition.
+func (b Balance) MaxSize() int64 {
+	var m int64
+	for _, s := range b.Sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// MinSize returns the smallest partition.
+func (b Balance) MinSize() int64 {
+	m := b.Sizes[0]
+	for _, s := range b.Sizes[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Spread returns (max-min)/ideal: the paper's partition-imbalance cost,
+// proportional to the completion-time difference between the fastest and
+// slowest node of a distributed sort.
+func (b Balance) Spread() float64 {
+	return float64(b.MaxSize()-b.MinSize()) / b.Ideal()
+}
+
+// Skew returns max/ideal, the straggler factor.
+func (b Balance) Skew() float64 {
+	return float64(b.MaxSize()) / b.Ideal()
+}
+
+// SortSpeedup models a shared-nothing distributed sort (DeWitt et al [6]):
+// every node sorts its partition at n*log2(n) cost and the job finishes
+// with the slowest node. It returns the speedup over a single-node sort of
+// the whole dataset; with perfect balance it approaches p (superlinear
+// artifacts of the log factor are real, not a bug).
+func (b Balance) SortSpeedup() float64 {
+	nlogn := func(n float64) float64 {
+		if n < 2 {
+			return n
+		}
+		return n * math.Log2(n)
+	}
+	slowest := 0.0
+	for _, s := range b.Sizes {
+		if c := nlogn(float64(s)); c > slowest {
+			slowest = c
+		}
+	}
+	if slowest == 0 {
+		return 0
+	}
+	return nlogn(float64(b.N)) / slowest
+}

@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/baseline"
+	"mrl/internal/params"
+	"mrl/internal/stream"
+)
+
+func exactOracle(t *testing.T, src stream.Source) *baseline.Exact {
+	t.Helper()
+	e := baseline.NewExact()
+	if err := stream.Each(src, e.Add); err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	return e
+}
+
+func TestSplittersExact(t *testing.T) {
+	src := stream.Sorted(1000)
+	sp, err := Splitters(exactOracle(t, src), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{250, 500, 750}
+	if len(sp) != 3 {
+		t.Fatalf("got %d splitters", len(sp))
+	}
+	for i := range want {
+		if sp[i] != want[i] {
+			t.Fatalf("splitters = %v, want %v", sp, want)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	sp := []float64{10, 20, 30}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{5, 0}, {10, 0}, {11, 1}, {20, 1}, {25, 2}, {30, 2}, {31, 3}, {1000, 3},
+	}
+	for _, c := range cases {
+		if got := Assign(sp, c.v); got != c.want {
+			t.Errorf("Assign(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEvaluatePerfectBalance(t *testing.T) {
+	src := stream.Shuffled(1000, 3)
+	sp, err := Splitters(exactOracle(t, src), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	bal, err := Evaluate(src, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.N != 1000 {
+		t.Fatalf("N = %d", bal.N)
+	}
+	for i, s := range bal.Sizes {
+		if s != 250 {
+			t.Errorf("partition %d size %d, want 250 (sizes %v)", i, s, bal.Sizes)
+		}
+	}
+	if bal.Spread() != 0 || bal.Skew() != 1 {
+		t.Fatalf("Spread=%v Skew=%v", bal.Spread(), bal.Skew())
+	}
+}
+
+func TestApproximateSplittersBalanceWithinEpsilon(t *testing.T) {
+	const n = 100000
+	const eps = 0.01
+	const parts = 8
+	plan, err := params.OptimizeNew(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := plan.NewSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Shuffled(n, 9)
+	if err := stream.Each(src, s.Add); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Splitters(s, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	bal, err := Evaluate(src, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := float64(n) / parts
+	for i, size := range bal.Sizes {
+		if math.Abs(float64(size)-ideal) > 2*eps*n+1 {
+			t.Errorf("partition %d size %d deviates beyond 2*eps*N from %v", i, size, ideal)
+		}
+	}
+	// Section 1.2's cost proxy: spread is at most 4*eps*N/ideal.
+	if bal.Spread() > 4*eps*float64(n)/ideal {
+		t.Errorf("spread %v too large", bal.Spread())
+	}
+	// A balanced 8-way sort must get close to 8x (log factor makes it
+	// slightly superlinear; require at least 6x).
+	if sp := bal.SortSpeedup(); sp < 6 {
+		t.Errorf("sort speedup %v, want > 6", sp)
+	}
+}
+
+func TestSplittersValidation(t *testing.T) {
+	e := exactOracle(t, stream.Sorted(10))
+	if _, err := Splitters(e, 1); err == nil {
+		t.Error("1 partition accepted")
+	}
+	empty := baseline.NewExact()
+	if _, err := Splitters(empty, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(stream.Sorted(10), nil); err == nil {
+		t.Error("no splitters accepted")
+	}
+}
+
+func TestBalanceDegenerateSkew(t *testing.T) {
+	// All data below the first splitter: everything lands in partition 0.
+	bal, err := Evaluate(stream.Sorted(100), []float64{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Sizes[0] != 100 || bal.Sizes[1] != 0 || bal.Sizes[2] != 0 {
+		t.Fatalf("sizes = %v", bal.Sizes)
+	}
+	if bal.MinSize() != 0 || bal.MaxSize() != 100 {
+		t.Fatalf("min=%d max=%d", bal.MinSize(), bal.MaxSize())
+	}
+	if bal.SortSpeedup() > 1.01 {
+		t.Fatalf("degenerate speedup = %v, want ~1", bal.SortSpeedup())
+	}
+}

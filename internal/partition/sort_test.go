@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"mrl/internal/params"
+	"mrl/internal/stream"
+)
+
+func TestDistributedSortEndToEnd(t *testing.T) {
+	const n = 100000
+	const parts = 8
+	const eps = 0.005
+
+	// Derive splitters from a one-pass sketch over the unsorted stream.
+	plan, err := params.OptimizeNew(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := plan.NewSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Shuffled(n, 31)
+	if err := stream.Each(src, sk.Add); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Splitters(sk, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sort across "nodes" and verify global order.
+	src.Reset()
+	res, err := DistributedSort(src, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verify() {
+		t.Fatal("concatenated runs not globally sorted")
+	}
+	merged := res.Merged()
+	if len(merged) != n {
+		t.Fatalf("merged length %d", len(merged))
+	}
+	if !sort.Float64sAreSorted(merged) {
+		t.Fatal("Merged() not sorted")
+	}
+	// It must be the full permutation 1..n.
+	if merged[0] != 1 || merged[n-1] != n {
+		t.Fatalf("merged range [%v, %v]", merged[0], merged[n-1])
+	}
+
+	// Balance must respect the splitter guarantee.
+	ideal := float64(n) / parts
+	for i, size := range res.Balance.Sizes {
+		if f := float64(size); f < ideal-2*eps*n-1 || f > ideal+2*eps*n+1 {
+			t.Errorf("node %d holds %d rows, ideal %v +/- %v", i, size, ideal, 2*eps*n)
+		}
+	}
+	if res.Balance.SortSpeedup() < float64(parts)*0.8 {
+		t.Errorf("speedup %v below 80%% of %d nodes", res.Balance.SortSpeedup(), parts)
+	}
+}
+
+func TestDistributedSortDuplicates(t *testing.T) {
+	data := make([]float64, 9000)
+	for i := range data {
+		data[i] = float64(i % 3)
+	}
+	res, err := DistributedSort(stream.FromSlice("dups", data), []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verify() {
+		t.Fatal("duplicate-heavy sort not globally ordered")
+	}
+	// All 0s in node 0, all 1s in node 1, all 2s in node 2.
+	if res.Balance.Sizes[0] != 3000 || res.Balance.Sizes[1] != 3000 || res.Balance.Sizes[2] != 3000 {
+		t.Fatalf("sizes = %v", res.Balance.Sizes)
+	}
+}
+
+func TestDistributedSortValidation(t *testing.T) {
+	if _, err := DistributedSort(stream.Sorted(5), nil); err == nil {
+		t.Error("no splitters accepted")
+	}
+	empty := stream.FromSlice("empty", nil)
+	if _, err := DistributedSort(empty, []float64{1}); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func TestVerifyCatchesDisorder(t *testing.T) {
+	res := SortResult{Nodes: [][]float64{{1, 2}, {1.5, 3}}}
+	if res.Verify() {
+		t.Fatal("cross-node disorder not caught")
+	}
+	res = SortResult{Nodes: [][]float64{{2, 1}}}
+	if res.Verify() {
+		t.Fatal("intra-node disorder not caught")
+	}
+	res = SortResult{Nodes: [][]float64{{1, 2}, {2, 3}}}
+	if !res.Verify() {
+		t.Fatal("valid order rejected (boundary duplicates are legal)")
+	}
+}

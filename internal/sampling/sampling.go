@@ -1,0 +1,100 @@
+// Package sampling implements the random-sampling front-end of Section 5 of
+// the MRL paper: single-pass selection of S elements out of a population of
+// N (sequential sampling for known N, reservoir sampling for unknown N) and
+// the coupling of a selector with the deterministic sketch, which makes
+// memory independent of the dataset size at the price of a probabilistic
+// guarantee.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sequential selects exactly S elements from a population of known size N
+// in a single pass with O(1) state (selection sampling): element i is taken
+// with probability (samples still needed) / (population still remaining),
+// which yields a uniform S-subset.
+type Sequential struct {
+	remainingPop    int64
+	remainingSample int64
+	rng             *rand.Rand
+}
+
+// NewSequential returns a selector drawing sampleS elements from a stream
+// of exactly populationN elements.
+func NewSequential(populationN, sampleS int64, rng *rand.Rand) (*Sequential, error) {
+	if populationN < 1 {
+		return nil, fmt.Errorf("sampling: population %d must be positive", populationN)
+	}
+	if sampleS < 1 || sampleS > populationN {
+		return nil, fmt.Errorf("sampling: sample size %d outside [1, %d]", sampleS, populationN)
+	}
+	if rng == nil {
+		return nil, errors.New("sampling: nil random source")
+	}
+	return &Sequential{remainingPop: populationN, remainingSample: sampleS, rng: rng}, nil
+}
+
+// Take reports whether the next stream element belongs to the sample. It
+// must be called exactly once per element; calls beyond the declared
+// population return false.
+func (s *Sequential) Take() bool {
+	if s.remainingPop <= 0 || s.remainingSample <= 0 {
+		s.remainingPop--
+		return false
+	}
+	take := s.rng.Int63n(s.remainingPop) < s.remainingSample
+	s.remainingPop--
+	if take {
+		s.remainingSample--
+	}
+	return take
+}
+
+// Remaining returns how many sample slots are still unfilled.
+func (s *Sequential) Remaining() int64 { return s.remainingSample }
+
+// Reservoir maintains a uniform random sample of fixed capacity over a
+// stream of unknown length (Algorithm R). It backs the naive sampling
+// baseline and the unknown-N variant of the Section 5 coupling.
+type Reservoir struct {
+	data []float64
+	seen int64
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding up to capacity elements.
+func NewReservoir(capacity int, rng *rand.Rand) (*Reservoir, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("sampling: reservoir capacity %d must be positive", capacity)
+	}
+	if rng == nil {
+		return nil, errors.New("sampling: nil random source")
+	}
+	return &Reservoir{data: make([]float64, 0, capacity), rng: rng}, nil
+}
+
+// Add offers the next stream element to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.data) < cap(r.data) {
+		r.data = append(r.data, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(cap(r.data)) {
+		r.data[j] = v
+	}
+}
+
+// Seen returns the number of elements offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns a copy of the current sample, sorted ascending.
+func (r *Reservoir) Sample() []float64 {
+	out := append([]float64(nil), r.data...)
+	sort.Float64s(out)
+	return out
+}

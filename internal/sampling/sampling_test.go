@@ -1,0 +1,246 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrl/internal/params"
+	"mrl/internal/stream"
+	"mrl/internal/validate"
+)
+
+func TestSequentialExactCount(t *testing.T) {
+	for _, c := range []struct{ n, s int64 }{{10, 1}, {10, 10}, {1000, 37}, {5, 3}} {
+		sel, err := NewSequential(c.n, c.s, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		taken := int64(0)
+		for i := int64(0); i < c.n; i++ {
+			if sel.Take() {
+				taken++
+			}
+		}
+		if taken != c.s {
+			t.Errorf("n=%d s=%d: selected %d", c.n, c.s, taken)
+		}
+		if sel.Remaining() != 0 {
+			t.Errorf("n=%d s=%d: %d slots left", c.n, c.s, sel.Remaining())
+		}
+		if sel.Take() {
+			t.Error("selector took an element beyond the population")
+		}
+	}
+}
+
+func TestSequentialUniformity(t *testing.T) {
+	// Each of 10 positions must be selected with probability 3/10; over
+	// 20000 trials the count is Binomial(20000, 0.3) with sigma ~65, so a
+	// +/- 400 window is > 6 sigma.
+	const trials = 20000
+	counts := make([]int, 10)
+	rng := rand.New(rand.NewSource(7))
+	for tr := 0; tr < trials; tr++ {
+		sel, err := NewSequential(10, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if sel.Take() {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if c < trials*3/10-400 || c > trials*3/10+400 {
+			t.Errorf("position %d selected %d times, want ~%d", i, c, trials*3/10)
+		}
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSequential(0, 1, rng); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := NewSequential(10, 0, rng); err == nil {
+		t.Error("sample 0 accepted")
+	}
+	if _, err := NewSequential(10, 11, rng); err == nil {
+		t.Error("sample > population accepted")
+	}
+	if _, err := NewSequential(10, 5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPropertySequentialAlwaysExact(t *testing.T) {
+	prop := func(seed int64, nRaw uint16, sRaw uint16) bool {
+		n := int64(nRaw%1000) + 1
+		s := int64(sRaw)%n + 1
+		sel, err := NewSequential(n, s, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		taken := int64(0)
+		for i := int64(0); i < n; i++ {
+			if sel.Take() {
+				taken++
+			}
+		}
+		return taken == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirBasics(t *testing.T) {
+	r, err := NewReservoir(5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		r.Add(float64(i))
+	}
+	got := r.Sample()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("undersized reservoir sample = %v", got)
+	}
+	for i := 4; i <= 1000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+	got = r.Sample()
+	if len(got) != 5 {
+		t.Fatalf("sample size = %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatal("sample not sorted")
+		}
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Over many trials, element 1 (the first) must stay in a size-10
+	// reservoir over a 100-element stream with probability 1/10.
+	const trials = 20000
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	for tr := 0; tr < trials; tr++ {
+		r, err := NewReservoir(10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 100; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.Sample() {
+			if v == 1 {
+				hits++
+			}
+		}
+	}
+	// Binomial(20000, 0.1): sigma ~42, allow +/- 300.
+	if hits < trials/10-300 || hits > trials/10+300 {
+		t.Fatalf("first element survived %d times, want ~%d", hits, trials/10)
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewReservoir(5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSampledSketchAccuracy(t *testing.T) {
+	const n = 500000
+	const eps = 0.02
+	plan, err := params.OptimizeSampledDataset(eps, 1e-4, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Sampled {
+		t.Fatalf("expected sampling to win at N=%d eps=%g", int64(n), eps)
+	}
+	s, err := NewSketch(plan, n, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	rep, err := validate.Run(stream.Shuffled(n, 5), s, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxEpsilon(); got > eps {
+		t.Fatalf("observed epsilon %v exceeds target %v (allowed with prob 1e-4; rerun-worthy if flaky)", got, eps)
+	}
+	if s.SampleCount() != plan.SampleSize {
+		t.Fatalf("sample count %d, want %d", s.SampleCount(), plan.SampleSize)
+	}
+	if s.Count() != n {
+		t.Fatalf("raw count %d, want %d", s.Count(), int64(n))
+	}
+	if s.MemoryElements() != int(plan.Memory()) {
+		t.Fatalf("memory %d, want %d", s.MemoryElements(), plan.Memory())
+	}
+}
+
+func TestSampledSketchOverflow(t *testing.T) {
+	plan, err := params.OptimizeSampledDataset(0.05, 1e-2, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Sampled {
+		t.Skip("plan did not sample")
+	}
+	s, err := NewSketch(plan, plan.SampleSize+1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < plan.SampleSize+1; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add(1); err == nil {
+		t.Fatal("element beyond declared population accepted")
+	}
+}
+
+func TestUnsampledPlanPassthrough(t *testing.T) {
+	plan, err := params.OptimizeSampledDataset(0.01, 1e-4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sampled {
+		t.Fatal("tiny dataset chose sampling")
+	}
+	s, err := NewSketch(plan, 1000, nil) // rng not needed without sampling
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SampleCount() != 1000 {
+		t.Fatalf("passthrough fed %d of 1000 elements", s.SampleCount())
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-500) > 0.01*1000+1 {
+		t.Fatalf("median %v far from 500", med)
+	}
+}

@@ -1,0 +1,42 @@
+package stream
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchDrain(b *testing.B, mk func() Source) {
+	b.Helper()
+	src := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+	}
+	b.SetBytes(8 * src.Len())
+}
+
+func BenchmarkSorted(b *testing.B)    { benchDrain(b, func() Source { return Sorted(1 << 16) }) }
+func BenchmarkShuffled(b *testing.B)  { benchDrain(b, func() Source { return Shuffled(1<<16, 1) }) }
+func BenchmarkBlocked(b *testing.B)   { benchDrain(b, func() Source { return Blocked(1<<16, 64, 1) }) }
+func BenchmarkUniform(b *testing.B)   { benchDrain(b, func() Source { return Uniform(1<<16, 1) }) }
+func BenchmarkNormal(b *testing.B)    { benchDrain(b, func() Source { return Normal(1<<16, 1, 0, 1) }) }
+func BenchmarkZipf(b *testing.B)      { benchDrain(b, func() Source { return Zipf(1<<16, 1, 1.5, 1e6) }) }
+func BenchmarkOrganPipe(b *testing.B) { benchDrain(b, func() Source { return OrganPipe(1 << 16) }) }
+
+func BenchmarkBinaryFile(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.bin")
+	if err := WriteBinaryFile(path, Uniform(1<<16, 1)); err != nil {
+		b.Fatal(err)
+	}
+	f, err := OpenBinaryFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	benchDrain(b, func() Source { return f })
+}

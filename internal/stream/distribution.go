@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// rngSource generates n values from a seeded pseudo-random generator. Reset
+// re-seeds, so passes are identical.
+type rngSource struct {
+	name string
+	n    int64
+	pos  int64
+	seed int64
+	rng  *rand.Rand
+	gen  func(r *rand.Rand) float64
+}
+
+func newRNGSource(name string, n, seed int64, gen func(*rand.Rand) float64) *rngSource {
+	mustPositive(n)
+	return &rngSource{
+		name: name,
+		n:    n,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		gen:  gen,
+	}
+}
+
+func (s *rngSource) Next() (float64, bool) {
+	if s.pos >= s.n {
+		return 0, false
+	}
+	s.pos++
+	return s.gen(s.rng), true
+}
+
+func (s *rngSource) Len() int64 { return s.n }
+
+func (s *rngSource) Reset() {
+	s.pos = 0
+	s.rng = rand.New(rand.NewSource(s.seed))
+}
+
+func (s *rngSource) Name() string { return s.name }
+
+// Uniform yields n values drawn uniformly from [0, 1).
+func Uniform(n, seed int64) Source {
+	return newRNGSource(fmt.Sprintf("uniform(seed=%d)", seed), n, seed,
+		func(r *rand.Rand) float64 { return r.Float64() })
+}
+
+// Normal yields n values from a normal distribution with the given mean and
+// standard deviation.
+func Normal(n, seed int64, mean, stddev float64) Source {
+	return newRNGSource(fmt.Sprintf("normal(%g,%g,seed=%d)", mean, stddev, seed), n, seed,
+		func(r *rand.Rand) float64 { return mean + stddev*r.NormFloat64() })
+}
+
+// LogNormal yields n values whose logarithm is normal(mu, sigma): a
+// heavy-right-tail distribution typical of durations and sizes.
+func LogNormal(n, seed int64, mu, sigma float64) Source {
+	return newRNGSource(fmt.Sprintf("lognormal(%g,%g,seed=%d)", mu, sigma, seed), n, seed,
+		func(r *rand.Rand) float64 { return math.Exp(mu + sigma*r.NormFloat64()) })
+}
+
+// Exponential yields n values from an exponential distribution with the
+// given rate.
+func Exponential(n, seed int64, rate float64) Source {
+	if rate <= 0 {
+		panic(fmt.Sprintf("stream: exponential rate %g must be positive", rate))
+	}
+	return newRNGSource(fmt.Sprintf("exponential(%g,seed=%d)", rate, seed), n, seed,
+		func(r *rand.Rand) float64 { return r.ExpFloat64() / rate })
+}
+
+// Zipf yields n values from {0, ..., domain-1} with a Zipf(s) frequency
+// law: a few values dominate, producing the heavy-duplicate column data
+// that makes equi-depth histograms interesting.
+func Zipf(n, seed int64, s float64, domain uint64) Source {
+	if s <= 1 {
+		panic(fmt.Sprintf("stream: zipf exponent %g must exceed 1", s))
+	}
+	if domain < 1 {
+		panic("stream: zipf domain must be positive")
+	}
+	name := fmt.Sprintf("zipf(%g,%d,seed=%d)", s, domain, seed)
+	z := &zipfSource{
+		rngSource: newRNGSource(name, n, seed, nil),
+		s:         s,
+		domain:    domain,
+	}
+	z.Reset() // installs the generator
+	return z
+}
+
+// zipfSource wraps rngSource because rand.Zipf captures the generator and
+// must be rebuilt on Reset.
+type zipfSource struct {
+	*rngSource
+	s      float64
+	domain uint64
+}
+
+func (z *zipfSource) Reset() {
+	z.rngSource.Reset()
+	zg := rand.NewZipf(z.rngSource.rng, z.s, 1, z.domain-1)
+	z.rngSource.gen = func(r *rand.Rand) float64 { return float64(zg.Uint64()) }
+}
+
+// Discrete yields n values uniformly from a domain of `cardinality`
+// distinct values, a heavy-duplicate workload with a flat histogram.
+func Discrete(n, seed int64, cardinality int64) Source {
+	if cardinality < 1 {
+		panic("stream: discrete cardinality must be positive")
+	}
+	return newRNGSource(fmt.Sprintf("discrete(%d,seed=%d)", cardinality, seed), n, seed,
+		func(r *rand.Rand) float64 { return float64(r.Int63n(cardinality)) })
+}
+
+// Mixture yields n values by flipping a weighted coin between two normal
+// components: a bimodal distribution where the median sits in a
+// low-density valley, a stress case for interpolating estimators such as
+// P-squared.
+func Mixture(n, seed int64) Source {
+	return newRNGSource(fmt.Sprintf("mixture(seed=%d)", seed), n, seed,
+		func(r *rand.Rand) float64 {
+			if r.Float64() < 0.5 {
+				return -10 + r.NormFloat64()
+			}
+			return 10 + r.NormFloat64()
+		})
+}

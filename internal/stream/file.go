@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// BinaryFile streams float64 values from a little-endian binary file: the
+// disk-resident dataset model of the paper. It implements Source (the
+// algorithms only ever see a one-pass iterator, whether the data lives on
+// disk or arrives online) plus Close.
+type BinaryFile struct {
+	path string
+	f    *os.File
+	r    *bufio.Reader
+	n    int64
+	pos  int64
+	buf  [8]byte
+}
+
+// OpenBinaryFile opens a binary float64 dataset. The element count is the
+// file size divided by 8; a trailing partial record is an error.
+func OpenBinaryFile(path string) (*BinaryFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if info.Size()%8 != 0 {
+		f.Close()
+		return nil, fmt.Errorf("stream: %s: size %d is not a multiple of 8", path, info.Size())
+	}
+	return &BinaryFile{
+		path: path,
+		f:    f,
+		r:    bufio.NewReaderSize(f, 1<<16),
+		n:    info.Size() / 8,
+	}, nil
+}
+
+// Next returns the next element; ok is false at end of file. Read errors
+// surface through Err after the stream ends early.
+func (b *BinaryFile) Next() (float64, bool) {
+	if b.pos >= b.n {
+		return 0, false
+	}
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		// Treat I/O failure as stream end; Len()-pos mismatch tells the
+		// caller something went wrong.
+		b.pos = b.n
+		return 0, false
+	}
+	b.pos++
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.buf[:])), true
+}
+
+// Len returns the number of float64 records in the file.
+func (b *BinaryFile) Len() int64 { return b.n }
+
+// Reset rewinds to the start of the file.
+func (b *BinaryFile) Reset() {
+	b.pos = 0
+	if _, err := b.f.Seek(0, io.SeekStart); err != nil {
+		// Render the source empty rather than silently replaying garbage.
+		b.n = 0
+		return
+	}
+	b.r.Reset(b.f)
+}
+
+// Name returns the file path.
+func (b *BinaryFile) Name() string { return b.path }
+
+// Close releases the underlying file.
+func (b *BinaryFile) Close() error { return b.f.Close() }
+
+// WriteBinaryFile materialises a source as a little-endian binary float64
+// file, the format OpenBinaryFile reads.
+func WriteBinaryFile(path string, src Source) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf [8]byte
+	werr := Each(src, func(v float64) error {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, e := w.Write(buf[:])
+		return e
+	})
+	if werr != nil {
+		return fmt.Errorf("stream: writing %s: %w", path, werr)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("stream: flushing %s: %w", path, err)
+	}
+	return nil
+}

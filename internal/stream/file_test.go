@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	orig := Shuffled(1000, 5)
+	if err := WriteBinaryFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Name() != path {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	orig.Reset()
+	want := Drain(orig)
+	got := Drain(f)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file contents differ from source")
+	}
+	// Reset replays identically.
+	f.Reset()
+	again := Drain(f)
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("Reset did not replay")
+	}
+}
+
+func TestBinaryFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("empty file yielded a value")
+	}
+}
+
+func TestBinaryFileErrors(t *testing.T) {
+	if _, err := OpenBinaryFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file opened")
+	}
+	// Partial trailing record.
+	path := filepath.Join(t.TempDir(), "ragged.bin")
+	if err := os.WriteFile(path, make([]byte, 12), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBinaryFile(path); err == nil {
+		t.Error("ragged file opened")
+	}
+}
+
+func TestWriteBinaryFileBadPath(t *testing.T) {
+	if err := WriteBinaryFile(filepath.Join(t.TempDir(), "no", "such", "dir.bin"), Sorted(3)); err == nil {
+		t.Error("write to missing directory succeeded")
+	}
+}

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sorted yields 1, 2, ..., n: the fully clustered arrival order (e.g. a
+// stored table scanned in key order, or a merge-join output).
+func Sorted(n int64) Source {
+	mustPositive(n)
+	return &funcSource{
+		name: "sorted",
+		n:    n,
+		gen:  func(i int64) float64 { return float64(i + 1) },
+	}
+}
+
+// Reversed yields n, n-1, ..., 1.
+func Reversed(n int64) Source {
+	mustPositive(n)
+	return &funcSource{
+		name: "reversed",
+		n:    n,
+		gen:  func(i int64) float64 { return float64(n - i) },
+	}
+}
+
+// Zigzag alternates extremes toward the middle: 1, n, 2, n-1, ... It keeps
+// every buffer straddling the full value range, an adversarial order for
+// histogram-adjusting heuristics.
+func Zigzag(n int64) Source {
+	mustPositive(n)
+	return &funcSource{
+		name: "zigzag",
+		n:    n,
+		gen: func(i int64) float64 {
+			if i%2 == 0 {
+				return float64(i/2 + 1)
+			}
+			return float64(n - i/2)
+		},
+	}
+}
+
+// OrganPipe yields the odd ranks ascending then the even ranks descending:
+// 1, 3, 5, ..., 6, 4, 2. The second half arrives in an order anticorrelated
+// with the first, the "correlated clustering" hazard of Section 1.2.
+func OrganPipe(n int64) Source {
+	mustPositive(n)
+	odds := (n + 1) / 2
+	return &funcSource{
+		name: "organ-pipe",
+		n:    n,
+		gen: func(i int64) float64 {
+			if i < odds {
+				return float64(2*i + 1)
+			}
+			j := i - odds // 0-based index into the descending evens
+			evens := n / 2
+			return float64(2 * (evens - j))
+		},
+	}
+}
+
+// Shuffled yields a uniformly random permutation of 1..n under the given
+// seed. The permutation is materialised (8 bytes per element), so it is the
+// one permutation source that costs O(n) memory; it is also the workload of
+// the paper's "Random" column in Table 3.
+func Shuffled(n int64, seed int64) Source {
+	mustPositive(n)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	return &sliceSource{name: fmt.Sprintf("shuffled(seed=%d)", seed), data: data}
+}
+
+// Blocked emits 1..n as `blocks` contiguous sorted runs arriving in a
+// shuffled block order: the clustered-insert arrival pattern of a table
+// loaded in batches. Within a block values are sorted; across blocks the
+// order is random under seed.
+func Blocked(n int64, blocks int, seed int64) Source {
+	mustPositive(n)
+	if blocks < 1 {
+		blocks = 1
+	}
+	if int64(blocks) > n {
+		blocks = int(n)
+	}
+	order := make([]int64, blocks)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	per := n / int64(blocks)
+	extra := n % int64(blocks) // blocks 0..extra-1 get one more element
+	size := func(blk int64) int64 {
+		if blk < extra {
+			return per + 1
+		}
+		return per
+	}
+	// start[i] is the emit position where the i-th slot begins; the i-th
+	// slot carries block order[i], so slot lengths follow the shuffle.
+	start := make([]int64, blocks+1)
+	for i := 0; i < blocks; i++ {
+		start[i+1] = start[i] + size(order[i])
+	}
+	return &funcSource{
+		name: fmt.Sprintf("blocked(%d,seed=%d)", blocks, seed),
+		n:    n,
+		gen: func(i int64) float64 {
+			// Locate the emitted block by position.
+			bi := sort.Search(blocks, func(j int) bool { return start[j+1] > i })
+			blk := order[bi]
+			off := i - start[bi]
+			// Value range of source block blk.
+			var base int64
+			if blk < extra {
+				base = blk * (per + 1)
+			} else {
+				base = extra*(per+1) + (blk-extra)*per
+			}
+			return float64(base + off + 1)
+		},
+	}
+}

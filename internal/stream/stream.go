@@ -1,0 +1,110 @@
+// Package stream provides deterministic, seedable one-pass data sources for
+// the quantile experiments: rank permutations with every arrival order the
+// paper worries about (Section 1.2 — insert order, clustering, correlations)
+// and a set of value distributions for application-level workloads.
+//
+// Permutation sources emit each value of {1, ..., N} exactly once, so the
+// exact rank of a value v is v itself; this is what makes the Section 6
+// simulations cheap to score. Distribution sources emit arbitrary float64
+// values and are scored by internal/validate against a sorted copy.
+package stream
+
+import "fmt"
+
+// Source is a finite, replayable stream of float64 values. Implementations
+// are deterministic: two drains of the same source (or of two sources built
+// with the same parameters) yield identical sequences.
+type Source interface {
+	// Next returns the next element. ok is false once the source is
+	// exhausted, in which case the value is meaningless.
+	Next() (v float64, ok bool)
+	// Len returns the total number of elements the source yields per pass.
+	Len() int64
+	// Reset rewinds the source to its beginning.
+	Reset()
+	// Name identifies the source in experiment reports.
+	Name() string
+}
+
+// Drain consumes the remainder of src into a slice. For large sources this
+// materialises the whole stream; experiments that only need streaming
+// should use Each instead.
+func Drain(src Source) []float64 {
+	out := make([]float64, 0, src.Len())
+	for {
+		v, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Each applies fn to every remaining element of src, stopping at the first
+// error.
+func Each(src Source, fn func(float64) error) error {
+	for {
+		v, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+}
+
+// funcSource adapts a position-indexed generator function into a Source.
+// It yields gen(0), gen(1), ..., gen(n-1) and rewinds for free, which lets
+// the deterministic permutations avoid materialising N elements.
+type funcSource struct {
+	name string
+	n    int64
+	pos  int64
+	gen  func(i int64) float64
+}
+
+func (s *funcSource) Next() (float64, bool) {
+	if s.pos >= s.n {
+		return 0, false
+	}
+	v := s.gen(s.pos)
+	s.pos++
+	return v, true
+}
+
+func (s *funcSource) Len() int64   { return s.n }
+func (s *funcSource) Reset()       { s.pos = 0 }
+func (s *funcSource) Name() string { return s.name }
+
+// sliceSource replays a materialised slice.
+type sliceSource struct {
+	name string
+	data []float64
+	pos  int
+}
+
+func (s *sliceSource) Next() (float64, bool) {
+	if s.pos >= len(s.data) {
+		return 0, false
+	}
+	v := s.data[s.pos]
+	s.pos++
+	return v, true
+}
+
+func (s *sliceSource) Len() int64   { return int64(len(s.data)) }
+func (s *sliceSource) Reset()       { s.pos = 0 }
+func (s *sliceSource) Name() string { return s.name }
+
+// FromSlice wraps an in-memory dataset as a Source. The slice is not
+// copied; callers must not mutate it while the source is in use.
+func FromSlice(name string, data []float64) Source {
+	return &sliceSource{name: name, data: data}
+}
+
+func mustPositive(n int64) {
+	if n < 1 {
+		panic(fmt.Sprintf("stream: size %d must be positive", n))
+	}
+}

@@ -1,0 +1,291 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkPermutation drains src and verifies it emits each of 1..n once.
+func checkPermutation(t *testing.T, src Source) {
+	t.Helper()
+	n := src.Len()
+	seen := make([]bool, n)
+	count := int64(0)
+	for {
+		v, ok := src.Next()
+		if !ok {
+			break
+		}
+		count++
+		i := int64(v)
+		if float64(i) != v || i < 1 || i > n {
+			t.Fatalf("%s emitted %v, not an integer in [1,%d]", src.Name(), v, n)
+		}
+		if seen[i-1] {
+			t.Fatalf("%s emitted %v twice", src.Name(), v)
+		}
+		seen[i-1] = true
+	}
+	if count != n {
+		t.Fatalf("%s emitted %d values, want %d", src.Name(), count, n)
+	}
+}
+
+func TestPermutationSourcesAreValidPermutations(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 7, 100, 1001} {
+		for _, src := range []Source{
+			Sorted(n),
+			Reversed(n),
+			Zigzag(n),
+			OrganPipe(n),
+			Shuffled(n, 42),
+			Blocked(n, 7, 42),
+			Blocked(n, 1, 1),
+		} {
+			checkPermutation(t, src)
+		}
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	got := Drain(Sorted(5))
+	want := []float64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sorted(5) = %v, want %v", got, want)
+	}
+}
+
+func TestReversedOrder(t *testing.T) {
+	got := Drain(Reversed(5))
+	want := []float64{5, 4, 3, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reversed(5) = %v, want %v", got, want)
+	}
+}
+
+func TestZigzagOrder(t *testing.T) {
+	got := Drain(Zigzag(5))
+	want := []float64{1, 5, 2, 4, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Zigzag(5) = %v, want %v", got, want)
+	}
+}
+
+func TestOrganPipeOrder(t *testing.T) {
+	got := Drain(OrganPipe(6))
+	want := []float64{1, 3, 5, 6, 4, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OrganPipe(6) = %v, want %v", got, want)
+	}
+	got = Drain(OrganPipe(5))
+	want = []float64{1, 3, 5, 4, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OrganPipe(5) = %v, want %v", got, want)
+	}
+}
+
+func TestBlockedRunsAreSorted(t *testing.T) {
+	src := Blocked(100, 10, 3)
+	data := Drain(src)
+	// Each run of 10 must be ascending.
+	for b := 0; b < 10; b++ {
+		run := data[b*10 : (b+1)*10]
+		if !sort.Float64sAreSorted(run) {
+			t.Fatalf("block %d not sorted: %v", b, run)
+		}
+	}
+}
+
+func TestResetReplaysIdentically(t *testing.T) {
+	sources := []Source{
+		Sorted(50),
+		Shuffled(50, 9),
+		Blocked(50, 5, 9),
+		Uniform(50, 9),
+		Normal(50, 9, 10, 2),
+		LogNormal(50, 9, 0, 1),
+		Exponential(50, 9, 2),
+		Zipf(50, 9, 1.5, 1000),
+		Discrete(50, 9, 10),
+		Mixture(50, 9),
+	}
+	for _, src := range sources {
+		first := Drain(src)
+		src.Reset()
+		second := Drain(src)
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: Reset does not replay identically", src.Name())
+		}
+		if int64(len(first)) != src.Len() {
+			t.Errorf("%s: drained %d values, Len() = %d", src.Name(), len(first), src.Len())
+		}
+	}
+}
+
+func TestSameSeedSameStream(t *testing.T) {
+	a := Drain(Uniform(100, 7))
+	b := Drain(Uniform(100, 7))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := Drain(Uniform(100, 8))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	src := FromSlice("test", []float64{3, 1, 2})
+	if src.Len() != 3 || src.Name() != "test" {
+		t.Fatalf("FromSlice metadata wrong: len=%d name=%q", src.Len(), src.Name())
+	}
+	if got := Drain(src); !reflect.DeepEqual(got, []float64{3, 1, 2}) {
+		t.Fatalf("Drain = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source still yields values")
+	}
+	src.Reset()
+	if v, ok := src.Next(); !ok || v != 3 {
+		t.Fatalf("after Reset Next = %v, %v", v, ok)
+	}
+}
+
+func TestEachStopsOnError(t *testing.T) {
+	src := Sorted(10)
+	calls := 0
+	errStop := errStopT{}
+	err := Each(src, func(v float64) error {
+		calls++
+		if v == 4 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || calls != 4 {
+		t.Fatalf("Each: err=%v calls=%d", err, calls)
+	}
+}
+
+type errStopT struct{}
+
+func (errStopT) Error() string { return "stop" }
+
+func TestDistributionShapes(t *testing.T) {
+	const n = 20000
+	uni := Drain(Uniform(n, 1))
+	mean := 0.0
+	for _, v := range uni {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform value %v outside [0,1)", v)
+		}
+		mean += v
+	}
+	if mean /= n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("uniform mean %v far from 0.5", mean)
+	}
+
+	nrm := Drain(Normal(n, 1, 100, 5))
+	mean = 0
+	for _, v := range nrm {
+		mean += v
+	}
+	if mean /= n; math.Abs(mean-100) > 0.5 {
+		t.Fatalf("normal mean %v far from 100", mean)
+	}
+
+	for _, v := range Drain(Exponential(n, 1, 2))[:100] {
+		if v < 0 {
+			t.Fatalf("exponential value %v negative", v)
+		}
+	}
+	for _, v := range Drain(LogNormal(n, 1, 0, 1))[:100] {
+		if v <= 0 {
+			t.Fatalf("lognormal value %v not positive", v)
+		}
+	}
+
+	zipf := Drain(Zipf(n, 1, 1.5, 100))
+	counts := make(map[float64]int)
+	for _, v := range zipf {
+		if v < 0 || v > 99 {
+			t.Fatalf("zipf value %v outside domain", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: count(0)=%d count(50)=%d", counts[0], counts[50])
+	}
+
+	disc := Drain(Discrete(n, 1, 5))
+	for _, v := range disc {
+		if v != math.Trunc(v) || v < 0 || v > 4 {
+			t.Fatalf("discrete value %v outside domain", v)
+		}
+	}
+}
+
+func TestMixtureIsBimodal(t *testing.T) {
+	data := Drain(Mixture(10000, 3))
+	nearLeft, nearRight, middle := 0, 0, 0
+	for _, v := range data {
+		switch {
+		case math.Abs(v+10) < 3:
+			nearLeft++
+		case math.Abs(v-10) < 3:
+			nearRight++
+		case math.Abs(v) < 3:
+			middle++
+		}
+	}
+	if nearLeft < 4000 || nearRight < 4000 || middle > 100 {
+		t.Fatalf("mixture not bimodal: left=%d right=%d middle=%d", nearLeft, nearRight, middle)
+	}
+}
+
+func TestPropertyBlockedIsPermutation(t *testing.T) {
+	prop := func(seed int64, nRaw uint16, bRaw uint8) bool {
+		n := int64(nRaw%500) + 1
+		blocks := int(bRaw%20) + 1
+		src := Blocked(n, blocks, seed)
+		seen := make(map[float64]bool)
+		for {
+			v, ok := src.Next()
+			if !ok {
+				break
+			}
+			if seen[v] || v < 1 || v > float64(n) {
+				return false
+			}
+			seen[v] = true
+		}
+		return int64(len(seen)) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConstructorsPanic(t *testing.T) {
+	cases := []func(){
+		func() { Sorted(0) },
+		func() { Reversed(-1) },
+		func() { Zipf(10, 1, 1.0, 10) },
+		func() { Zipf(10, 1, 2.0, 0) },
+		func() { Exponential(10, 1, 0) },
+		func() { Discrete(10, 1, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for invalid arguments", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

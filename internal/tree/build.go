@@ -1,0 +1,227 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is an explicit collapse-tree node (Figures 2-4 of the paper). A leaf
+// has no children and weight 1; an interior node is a COLLAPSE of its
+// children; the root is the final OUTPUT over its children.
+type Node struct {
+	Weight   int64
+	Children []*Node
+	// Root marks the OUTPUT gate, which is not a COLLAPSE.
+	Root bool
+}
+
+// Leaves returns the number of leaves under n.
+func (n *Node) Leaves() int64 {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	var total int64
+	for _, c := range n.Children {
+		total += c.Leaves()
+	}
+	return total
+}
+
+// shape folds the tree into the Figure 5 quantities.
+func (n *Node) shape() (c, w, wmax int64, height int) {
+	if len(n.Children) == 0 {
+		return 0, 0, 0, 1
+	}
+	for _, ch := range n.Children {
+		cc, cw, _, h := ch.shape()
+		c += cc
+		w += cw
+		if h+1 > height {
+			height = h + 1
+		}
+		if n.Root && ch.Weight > wmax {
+			wmax = ch.Weight
+		}
+	}
+	if !n.Root {
+		c++
+		w += n.Weight
+	}
+	return c, w, wmax, height
+}
+
+// Shape summarises the explicit tree in the Figure 5 symbols.
+func (n *Node) Shape() Shape {
+	c, w, wmax, height := n.shape()
+	return Shape{
+		Height:    height,
+		Leaves:    n.Leaves(),
+		Collapses: c,
+		WeightSum: w,
+		WMax:      wmax,
+	}
+}
+
+// Render draws the tree with node weights, root first — the format of
+// Figures 2-4 flattened to text.
+func (n *Node) Render() string {
+	var sb strings.Builder
+	n.render(&sb, "", "")
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder, prefix, conn string) {
+	label := fmt.Sprintf("%d", n.Weight)
+	if n.Root {
+		label = fmt.Sprintf("OUTPUT (total weight %d)", n.Weight)
+	}
+	sb.WriteString(prefix + conn + label + "\n")
+	childPrefix := prefix
+	switch conn {
+	case "├─ ":
+		childPrefix += "│  "
+	case "└─ ":
+		childPrefix += "   "
+	}
+	for i, c := range n.Children {
+		cc := "├─ "
+		if i == len(n.Children)-1 {
+			cc = "└─ "
+		}
+		c.render(sb, childPrefix, cc)
+	}
+}
+
+// slot is a buffer holding an in-progress subtree during the abstract
+// schedule replay below. The replays intentionally re-implement the three
+// policies over weight-only state, independent of internal/core, so that
+// the test suite can cross-validate the two implementations against each
+// other and against the closed forms.
+type slot struct {
+	node  *Node
+	level int
+}
+
+// BuildMunroPaterson replays the Munro-Paterson schedule (NEW whenever a
+// buffer is empty, otherwise collapse the lightest equal-weight pair) over
+// exactly 2^(b-1) leaves with b buffers, then closes the remaining buffers
+// into the Figure 2 tree by collapsing equal pairs until two remain.
+func BuildMunroPaterson(b int) (*Node, error) {
+	if b < 3 || b > 24 {
+		return nil, fmt.Errorf("tree: munro-paterson b %d outside [3,24]", b)
+	}
+	leaves := int64(1) << (b - 1)
+	var full []*slot
+	emit := int64(0)
+	collapseEqual := func() bool {
+		sort.SliceStable(full, func(i, j int) bool { return full[i].node.Weight < full[j].node.Weight })
+		for i := 0; i+1 < len(full); i++ {
+			if full[i].node.Weight == full[i+1].node.Weight {
+				merged := &Node{
+					Weight:   full[i].node.Weight * 2,
+					Children: []*Node{full[i].node, full[i+1].node},
+				}
+				full = append(full[:i], full[i+2:]...)
+				full = append(full, &slot{node: merged})
+				return true
+			}
+		}
+		return false
+	}
+	for emit < leaves {
+		if len(full) < b {
+			full = append(full, &slot{node: &Node{Weight: 1}})
+			emit++
+			continue
+		}
+		if !collapseEqual() {
+			return nil, fmt.Errorf("tree: munro-paterson wedged at %d leaves", emit)
+		}
+	}
+	// Drain to the stipulated final state: two buffers of weight 2^(b-2).
+	for len(full) > 2 {
+		if !collapseEqual() {
+			return nil, fmt.Errorf("tree: munro-paterson cannot drain %d buffers", len(full))
+		}
+	}
+	root := &Node{Root: true}
+	for _, s := range full {
+		root.Weight += s.node.Weight
+		root.Children = append(root.Children, s.node)
+	}
+	return root, nil
+}
+
+// BuildARS returns the Figure 3 tree for even b: b/2 collapses of b/2
+// weight-1 leaves each, all feeding OUTPUT.
+func BuildARS(b int) (*Node, error) {
+	if b < 4 || b%2 != 0 {
+		return nil, fmt.Errorf("tree: ars b %d must be even and >= 4", b)
+	}
+	h := b / 2
+	root := &Node{Root: true}
+	for i := 0; i < h; i++ {
+		mid := &Node{Weight: int64(h)}
+		for j := 0; j < h; j++ {
+			mid.Children = append(mid.Children, &Node{Weight: 1})
+		}
+		root.Children = append(root.Children, mid)
+		root.Weight += mid.Weight
+	}
+	return root, nil
+}
+
+// BuildNew replays the new policy's level schedule (Section 3.4) over
+// exactly L(b, h) leaves and returns the resulting Figure 4 tree.
+func BuildNew(b, h int) (*Node, error) {
+	want, err := New(b, h)
+	if err != nil {
+		return nil, err
+	}
+	if want.Leaves > 1_000_000 {
+		return nil, fmt.Errorf("tree: (b=%d, h=%d) has %d leaves; too large to materialise", b, h, want.Leaves)
+	}
+	var full []*slot
+	emit := int64(0)
+	newLeaf := func(level int) {
+		full = append(full, &slot{node: &Node{Weight: 1}, level: level})
+		emit++
+	}
+	minLevel := func() int {
+		min := full[0].level
+		for _, s := range full[1:] {
+			if s.level < min {
+				min = s.level
+			}
+		}
+		return min
+	}
+	for emit < want.Leaves {
+		switch empties := b - len(full); {
+		case empties >= 2:
+			newLeaf(0)
+		case empties == 1:
+			newLeaf(minLevel())
+		default:
+			l := minLevel()
+			merged := &Node{}
+			rest := full[:0]
+			for _, s := range full {
+				if s.level == l {
+					merged.Weight += s.node.Weight
+					merged.Children = append(merged.Children, s.node)
+				} else {
+					rest = append(rest, s)
+				}
+			}
+			full = append(rest, &slot{node: merged, level: l + 1})
+		}
+	}
+	root := &Node{Root: true}
+	for _, s := range full {
+		root.Weight += s.node.Weight
+		root.Children = append(root.Children, s.node)
+	}
+	return root, nil
+}

@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildNewMatchesClosedForms: the explicit tree built by an
+// independent replay of the schedule must realise exactly the Section 4.5
+// closed forms (and therefore agree with the internal/core runtime, which
+// TestNewSimulationMatchesClosedForms ties to the same values).
+func TestBuildNewMatchesClosedForms(t *testing.T) {
+	for b := 2; b <= 6; b++ {
+		for h := 3; h <= 6; h++ {
+			want, err := New(b, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Leaves > 50000 {
+				continue
+			}
+			root, err := BuildNew(b, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := root.Shape()
+			if got.Leaves != want.Leaves || got.Collapses != want.Collapses ||
+				got.WeightSum != want.WeightSum || got.WMax != want.WMax {
+				t.Errorf("b=%d h=%d: built (L=%d C=%d W=%d wmax=%d), closed form (L=%d C=%d W=%d wmax=%d)",
+					b, h, got.Leaves, got.Collapses, got.WeightSum, got.WMax,
+					want.Leaves, want.Collapses, want.WeightSum, want.WMax)
+			}
+			// Leaves sit at varying depths in the new policy; the realised
+			// max depth lands on h or h+1 nodes (root included) depending
+			// on whether the deepest level-0 leaf survived to the end.
+			if got.Height != h && got.Height != h+1 {
+				t.Errorf("b=%d h=%d: built height %d, want %d or %d", b, h, got.Height, h, h+1)
+			}
+		}
+	}
+}
+
+func TestBuildMunroPatersonMatchesClosedForms(t *testing.T) {
+	for b := 3; b <= 10; b++ {
+		want, err := MunroPaterson(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := BuildMunroPaterson(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := root.Shape()
+		if got.Leaves != want.Leaves || got.Collapses != want.Collapses ||
+			got.WeightSum != want.WeightSum || got.WMax != want.WMax {
+			t.Errorf("b=%d: built (L=%d C=%d W=%d wmax=%d), closed form (L=%d C=%d W=%d wmax=%d)",
+				b, got.Leaves, got.Collapses, got.WeightSum, got.WMax,
+				want.Leaves, want.Collapses, want.WeightSum, want.WMax)
+		}
+		if got.Height != b {
+			t.Errorf("b=%d: built height %d, want %d", b, got.Height, b)
+		}
+	}
+}
+
+func TestBuildARSMatchesClosedForms(t *testing.T) {
+	for b := 4; b <= 20; b += 2 {
+		want, err := ARS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := BuildARS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := root.Shape()
+		if got.Leaves != want.Leaves || got.Collapses != want.Collapses ||
+			got.WeightSum != want.WeightSum || got.WMax != want.WMax {
+			t.Errorf("b=%d: built %+v, closed form %+v", b, got, want)
+		}
+		if got.Height != 3 { // leaves, collapse layer, root
+			t.Errorf("b=%d: built height %d, want 3", b, got.Height)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := BuildMunroPaterson(2); err == nil {
+		t.Error("MP b=2 accepted")
+	}
+	if _, err := BuildARS(5); err == nil {
+		t.Error("ARS odd b accepted")
+	}
+	if _, err := BuildNew(1, 3); err == nil {
+		t.Error("New b=1 accepted")
+	}
+	if _, err := BuildNew(3, 2); err == nil {
+		t.Error("New h=2 accepted")
+	}
+	if _, err := BuildNew(20, 40); err == nil {
+		t.Error("gigantic tree accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	root, err := BuildARS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := root.Render()
+	if !strings.HasPrefix(out, "OUTPUT (total weight 4)") {
+		t.Fatalf("render header wrong:\n%s", out)
+	}
+	// 1 root + 2 collapses + 4 leaves = 7 lines.
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("render has %d lines, want 7:\n%s", got, out)
+	}
+	if strings.Count(out, "└─ 1") != 2 {
+		t.Fatalf("render structure unexpected:\n%s", out)
+	}
+}
+
+func TestRenderFigure4SmallTree(t *testing.T) {
+	// The b=5 tree of Figure 4 at height 3 has the root over a weight-5
+	// collapse plus level-1 weights summing to L(5,3)=15.
+	root, err := BuildNew(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Weight != 15 {
+		t.Fatalf("root weight = %d, want 15", root.Weight)
+	}
+	out := root.Render()
+	if !strings.Contains(out, "OUTPUT (total weight 15)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

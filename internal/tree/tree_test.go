@@ -1,0 +1,177 @@
+package tree
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+)
+
+func TestMunroPatersonClosedForms(t *testing.T) {
+	// Section 4.3: W = (b-2)*2^(b-1), C = 2^(b-1) - 2, wmax = 2^(b-2).
+	for b := 3; b <= 20; b++ {
+		s, err := MunroPaterson(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW := int64(b-2) * (int64(1) << (b - 1))
+		wantC := (int64(1) << (b - 1)) - 2
+		wantMax := int64(1) << (b - 2)
+		if s.WeightSum != wantW || s.Collapses != wantC || s.WMax != wantMax {
+			t.Errorf("b=%d: got (W=%d, C=%d, wmax=%d), want (%d, %d, %d)",
+				b, s.WeightSum, s.Collapses, s.WMax, wantW, wantC, wantMax)
+		}
+		// Section 4.3's bound: (b-2)*2^(b-2) + 1/2.
+		want := float64(b-2)*float64(int64(1)<<(b-2)) + 0.5
+		if got := s.ErrorNumerator(); got != want {
+			t.Errorf("b=%d: error numerator %v, want %v", b, got, want)
+		}
+	}
+	if _, err := MunroPaterson(2); err == nil {
+		t.Error("b=2 accepted")
+	}
+}
+
+func TestARSClosedForms(t *testing.T) {
+	// Section 4.4: bound simplifies to b^2/8 + b/4 - 1/2.
+	for b := 4; b <= 40; b += 2 {
+		s, err := ARS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(b*b)/8 + float64(b)/4 - 0.5
+		if got := s.ErrorNumerator(); got != want {
+			t.Errorf("b=%d: error numerator %v, want %v", b, got, want)
+		}
+		if s.Leaves != int64(b*b/4) {
+			t.Errorf("b=%d: leaves %d, want %d", b, s.Leaves, b*b/4)
+		}
+	}
+	if _, err := ARS(5); err == nil {
+		t.Error("odd b accepted")
+	}
+	if _, err := ARS(2); err == nil {
+		t.Error("b=2 accepted")
+	}
+}
+
+func TestNewClosedFormsSpotChecks(t *testing.T) {
+	// Hand-checked instances (cf. internal/params tests).
+	s, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Leaves != 15 || s.Collapses != 4 || s.WeightSum != 14 || s.WMax != 5 {
+		t.Fatalf("New(5,3) = %+v", s)
+	}
+	if got := s.ErrorNumerator(); got != 9.5 {
+		t.Fatalf("New(5,3) error numerator = %v, want 9.5", got)
+	}
+	if _, err := New(1, 3); err == nil {
+		t.Error("b=1 accepted")
+	}
+	if _, err := New(3, 2); err == nil {
+		t.Error("h=2 accepted")
+	}
+	if _, err := New(40, 250); err == nil {
+		t.Error("overflowing shape accepted")
+	}
+}
+
+// TestNewSimulationMatchesClosedForms is the central cross-validation: the
+// live collapse schedule of the new policy, fed exactly L(b,h) leaves,
+// realises exactly the analytic tree of Section 4.5.
+func TestNewSimulationMatchesClosedForms(t *testing.T) {
+	for b := 2; b <= 7; b++ {
+		for h := 3; h <= 6; h++ {
+			want, err := New(b, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Leaves > 100000 {
+				continue
+			}
+			got, err := Simulate(core.PolicyNew, b, want.Leaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Collapses != want.Collapses || got.WeightSum != want.WeightSum || got.WMax != want.WMax {
+				t.Errorf("b=%d h=%d: simulated (C=%d, W=%d, wmax=%d), closed form (%d, %d, %d)",
+					b, h, got.Collapses, got.WeightSum, got.WMax,
+					want.Collapses, want.WeightSum, want.WMax)
+			}
+		}
+	}
+}
+
+// TestMPSimulationWithinClosedForm: the lazy runtime MP schedule never
+// exceeds the stipulated Figure 2 tree's error numerator at full capacity.
+func TestMPSimulationWithinClosedForm(t *testing.T) {
+	for b := 3; b <= 10; b++ {
+		want, err := MunroPaterson(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Simulate(core.PolicyMunroPaterson, b, want.Leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ErrorNumerator() > want.ErrorNumerator() {
+			t.Errorf("b=%d: simulated numerator %v exceeds closed form %v",
+				b, got.ErrorNumerator(), want.ErrorNumerator())
+		}
+		if got.Leaves != want.Leaves {
+			t.Errorf("b=%d: simulated %d leaves, want %d", b, got.Leaves, want.Leaves)
+		}
+	}
+}
+
+// TestARSSimulationWithinClosedForm: same inequality for the lazy ARS
+// schedule at its nominal capacity.
+func TestARSSimulationWithinClosedForm(t *testing.T) {
+	for b := 4; b <= 20; b += 2 {
+		want, err := ARS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Simulate(core.PolicyARS, b, want.Leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ErrorNumerator() > want.ErrorNumerator() {
+			t.Errorf("b=%d: simulated numerator %v exceeds closed form %v",
+				b, got.ErrorNumerator(), want.ErrorNumerator())
+		}
+	}
+}
+
+// TestNewTreeGrowth: Section 4.8's height-vs-width tradeoff — at fixed b,
+// leaves grow monotonically with h while the error numerator also grows;
+// the optimizer trades these off.
+func TestNewTreeGrowth(t *testing.T) {
+	for b := 3; b <= 8; b++ {
+		var prevLeaves int64
+		var prevErr float64
+		for h := 3; h <= 8; h++ {
+			s, err := New(b, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Leaves <= prevLeaves {
+				t.Errorf("b=%d h=%d: leaves %d not growing past %d", b, h, s.Leaves, prevLeaves)
+			}
+			if s.ErrorNumerator() <= prevErr {
+				t.Errorf("b=%d h=%d: numerator %v not growing past %v", b, h, s.ErrorNumerator(), prevErr)
+			}
+			prevLeaves, prevErr = s.Leaves, s.ErrorNumerator()
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(core.PolicyNew, 3, 0); err == nil {
+		t.Error("0 leaves accepted")
+	}
+	if _, err := Simulate(core.PolicyNew, 1, 5); err == nil {
+		t.Error("b=1 accepted")
+	}
+}

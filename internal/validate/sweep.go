@@ -1,0 +1,76 @@
+package validate
+
+import (
+	"fmt"
+
+	"mrl/internal/stream"
+)
+
+// SweepResult aggregates the observed epsilons of repeated runs of the same
+// experiment under different seeds: the statistical form of the paper's
+// Table 3, which reports single runs.
+type SweepResult struct {
+	Runs    int
+	Reports []Report
+}
+
+// WorstEpsilon returns the largest observed epsilon across all runs and
+// quantiles.
+func (s SweepResult) WorstEpsilon() float64 {
+	worst := 0.0
+	for _, r := range s.Reports {
+		if e := r.MaxEpsilon(); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// MeanMaxEpsilon returns the mean across runs of each run's worst observed
+// epsilon.
+func (s SweepResult) MeanMaxEpsilon() float64 {
+	if len(s.Reports) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Reports {
+		sum += r.MaxEpsilon()
+	}
+	return sum / float64(len(s.Reports))
+}
+
+// QuantileMean returns, for quantile index qi, the mean observed epsilon
+// across runs.
+func (s SweepResult) QuantileMean(qi int) float64 {
+	if len(s.Reports) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Reports {
+		sum += r.Results[qi].Epsilon
+	}
+	return sum / float64(len(s.Reports))
+}
+
+// Sweep runs the experiment `runs` times: sourceFor(seed) builds the input
+// and estimatorFor() a fresh estimator for each run. Seeds are 1..runs.
+func Sweep(runs int, phis []float64,
+	sourceFor func(seed int64) stream.Source,
+	estimatorFor func() (Estimator, error)) (SweepResult, error) {
+	if runs < 1 {
+		return SweepResult{}, fmt.Errorf("validate: run count %d must be positive", runs)
+	}
+	out := SweepResult{Runs: runs}
+	for seed := int64(1); seed <= int64(runs); seed++ {
+		est, err := estimatorFor()
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("validate: run %d: %w", seed, err)
+		}
+		rep, err := Run(sourceFor(seed), est, phis)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("validate: run %d: %w", seed, err)
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package validate
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+	"mrl/internal/params"
+	"mrl/internal/stream"
+)
+
+func TestSweepAggregates(t *testing.T) {
+	const n = 20000
+	const eps = 0.01
+	plan, err := params.OptimizeNew(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis := []float64{0.25, 0.5, 0.75}
+	res, err := Sweep(5, phis,
+		func(seed int64) stream.Source { return stream.Shuffled(n, seed) },
+		func() (Estimator, error) { return plan.NewSketch() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 5 || len(res.Reports) != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.WorstEpsilon() > eps {
+		t.Fatalf("worst observed epsilon %v exceeds guarantee %v", res.WorstEpsilon(), eps)
+	}
+	if res.MeanMaxEpsilon() > res.WorstEpsilon() {
+		t.Fatal("mean exceeds worst")
+	}
+	for qi := range phis {
+		if m := res.QuantileMean(qi); m < 0 || m > eps {
+			t.Fatalf("quantile %d mean epsilon %v out of range", qi, m)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(0, nil, nil, nil); err == nil {
+		t.Fatal("0 runs accepted")
+	}
+	_, err := Sweep(1, []float64{0.5},
+		func(seed int64) stream.Source { return stream.Sorted(10) },
+		func() (Estimator, error) { return core.NewSketch(1, 1, core.PolicyNew) })
+	if err == nil {
+		t.Fatal("estimator construction error not propagated")
+	}
+}
+
+func TestSweepEmptyAggregates(t *testing.T) {
+	var empty SweepResult
+	if empty.MeanMaxEpsilon() != 0 || empty.WorstEpsilon() != 0 || empty.QuantileMean(0) != 0 {
+		t.Fatal("empty sweep aggregates nonzero")
+	}
+}
+
+func TestRunPermutation(t *testing.T) {
+	s, err := core.NewSketch(5, 32, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunPermutation(stream.Shuffled(5000, 3), s, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 5000 || rep.Results[0].Target != 2500 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	// The report must agree with the O(N) harness on the same run.
+	s2, err := core.NewSketch(5, 32, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(stream.Shuffled(5000, 3), s2, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].RankError != full.Results[0].RankError {
+		t.Fatalf("permutation scorer %d vs full scorer %d",
+			rep.Results[0].RankError, full.Results[0].RankError)
+	}
+	if _, err := RunPermutation(stream.FromSlice("empty", nil), s, []float64{0.5}); err == nil {
+		t.Fatal("empty source accepted")
+	}
+	if _, err := RunPermutation(stream.Sorted(10), s, []float64{1.5}); err == nil {
+		t.Fatal("bad phi accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package validate scores quantile estimators against exact ranks: it is
+// the machinery behind the paper's Section 6 simulation (Table 3) and the
+// baseline comparisons. Given a stream and an estimator it reports, for
+// each requested quantile, the observed rank error and the corresponding
+// observed epsilon.
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrl/internal/stream"
+)
+
+// Estimator consumes a stream one element at a time and answers quantile
+// queries at the end. *core.Sketch, the quantile facade and all baselines
+// implement it.
+type Estimator interface {
+	Add(v float64) error
+	Quantiles(phis []float64) ([]float64, error)
+}
+
+// QuantileResult scores a single estimate.
+type QuantileResult struct {
+	// Phi is the requested quantile fraction.
+	Phi float64
+	// Estimate is the value the estimator returned.
+	Estimate float64
+	// Target is the exact rank ceil(Phi*N), clamped to [1, N].
+	Target int64
+	// RankLo and RankHi delimit the ranks Estimate occupies in the sorted
+	// data. For a value present once RankLo == RankHi; for duplicated
+	// values the interval widens; for a value not present at all (possible
+	// for interpolating baselines) RankHi == RankLo-1, an empty interval
+	// around the insertion point.
+	RankLo, RankHi int64
+	// RankError is the distance from Target to [RankLo, RankHi]; zero when
+	// the target rank falls inside the interval.
+	RankError int64
+	// Epsilon is RankError / N, the observed epsilon of this estimate.
+	Epsilon float64
+}
+
+// Report aggregates the per-quantile scores of one run.
+type Report struct {
+	Source  string
+	N       int64
+	Results []QuantileResult
+}
+
+// MaxEpsilon returns the worst observed epsilon in the report.
+func (r Report) MaxEpsilon() float64 {
+	worst := 0.0
+	for _, q := range r.Results {
+		if q.Epsilon > worst {
+			worst = q.Epsilon
+		}
+	}
+	return worst
+}
+
+// MeanEpsilon returns the mean observed epsilon across quantiles.
+func (r Report) MeanEpsilon() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range r.Results {
+		sum += q.Epsilon
+	}
+	return sum / float64(len(r.Results))
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: n=%d quantiles=%d maxEps=%.6f meanEps=%.6f",
+		r.Source, r.N, len(r.Results), r.MaxEpsilon(), r.MeanEpsilon())
+}
+
+// Run streams src through est while retaining a copy of the data for exact
+// scoring, then evaluates the estimator's answers for phis. It costs O(N)
+// memory for the exact oracle — validation is an offline activity; the
+// estimator itself still sees a strict one-pass stream.
+func Run(src stream.Source, est Estimator, phis []float64) (Report, error) {
+	data := make([]float64, 0, src.Len())
+	err := stream.Each(src, func(v float64) error {
+		data = append(data, v)
+		return est.Add(v)
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: streaming %s: %w", src.Name(), err)
+	}
+	estimates, err := est.Quantiles(phis)
+	if err != nil {
+		return Report{}, fmt.Errorf("validate: querying after %s: %w", src.Name(), err)
+	}
+	return Evaluate(src.Name(), data, phis, estimates)
+}
+
+// Evaluate scores precomputed estimates against the dataset. data may be in
+// any order; it is sorted internally (the input slice is not modified).
+func Evaluate(name string, data []float64, phis, estimates []float64) (Report, error) {
+	if len(phis) != len(estimates) {
+		return Report{}, fmt.Errorf("validate: %d phis but %d estimates", len(phis), len(estimates))
+	}
+	if len(data) == 0 {
+		return Report{}, fmt.Errorf("validate: empty dataset")
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	n := int64(len(sorted))
+	rep := Report{Source: name, N: n, Results: make([]QuantileResult, len(phis))}
+	for i, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return Report{}, fmt.Errorf("validate: phi %v outside [0,1]", phi)
+		}
+		est := estimates[i]
+		target := int64(math.Ceil(phi * float64(n)))
+		if target < 1 {
+			target = 1
+		}
+		if target > n {
+			target = n
+		}
+		less := int64(sort.SearchFloat64s(sorted, est))
+		leq := int64(sort.Search(len(sorted), func(j int) bool { return sorted[j] > est }))
+		lo, hi := less+1, leq // empty interval (hi = lo-1) when est absent
+		var rankErr int64
+		switch {
+		case target >= lo && target <= hi:
+			rankErr = 0
+		case target < lo:
+			rankErr = lo - target
+			if hi < lo { // absent value: insertion point distance
+				rankErr = lo - 1 - target
+				if rankErr < 0 {
+					rankErr = 0
+				}
+			}
+		default:
+			rankErr = target - hi
+			if hi < lo {
+				rankErr = target - lo
+				if rankErr < 0 {
+					rankErr = 0
+				}
+			}
+		}
+		rep.Results[i] = QuantileResult{
+			Phi:       phi,
+			Estimate:  est,
+			Target:    target,
+			RankLo:    lo,
+			RankHi:    hi,
+			RankError: rankErr,
+			Epsilon:   float64(rankErr) / float64(n),
+		}
+	}
+	return rep, nil
+}

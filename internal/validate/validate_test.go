@@ -1,0 +1,132 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+)
+
+func TestEvaluateExactEstimates(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	rep, err := Evaluate("test", data, []float64{0.2, 0.5, 1}, []float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 5 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	for i, q := range rep.Results {
+		if q.RankError != 0 || q.Epsilon != 0 {
+			t.Errorf("result %d: rank error %d for exact estimate", i, q.RankError)
+		}
+	}
+	if rep.MaxEpsilon() != 0 || rep.MeanEpsilon() != 0 {
+		t.Fatalf("aggregates nonzero: max=%v mean=%v", rep.MaxEpsilon(), rep.MeanEpsilon())
+	}
+}
+
+func TestEvaluateOffByK(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// Median target is rank 5; estimate 8 has rank 8: error 3, epsilon 0.3.
+	rep, err := Evaluate("test", data, []float64{0.5}, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Results[0]
+	if q.Target != 5 || q.RankError != 3 || q.Epsilon != 0.3 {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestEvaluateDuplicates(t *testing.T) {
+	data := []float64{1, 7, 7, 7, 9}
+	// 7 occupies ranks 2..4; any target inside costs nothing.
+	rep, err := Evaluate("test", data, []float64{0.4, 0.8, 1}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].RankError != 0 { // target 2
+		t.Errorf("target 2 vs ranks [2,4]: error %d", rep.Results[0].RankError)
+	}
+	if rep.Results[1].RankError != 0 { // target 4
+		t.Errorf("target 4 vs ranks [2,4]: error %d", rep.Results[1].RankError)
+	}
+	if rep.Results[2].RankError != 1 { // target 5, hi = 4
+		t.Errorf("target 5 vs ranks [2,4]: error %d, want 1", rep.Results[2].RankError)
+	}
+}
+
+func TestEvaluateAbsentValue(t *testing.T) {
+	data := []float64{10, 20, 30, 40}
+	// 25 would sit between ranks 2 and 3 (insertion point 2).
+	rep, err := Evaluate("test", data, []float64{0.5, 0.75, 0.25}, []float64{25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].RankError != 0 { // target 2: adjacent
+		t.Errorf("target 2: error %d, want 0", rep.Results[0].RankError)
+	}
+	if rep.Results[1].RankError != 0 { // target 3: adjacent on the other side
+		t.Errorf("target 3: error %d, want 0", rep.Results[1].RankError)
+	}
+	if rep.Results[2].RankError != 1 { // target 1: one rank away
+		t.Errorf("target 1: error %d, want 1", rep.Results[2].RankError)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate("x", nil, []float64{0.5}, []float64{1}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Evaluate("x", []float64{1}, []float64{0.5, 0.6}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Evaluate("x", []float64{1}, []float64{1.5}, []float64{1}); err == nil {
+		t.Error("phi > 1 accepted")
+	}
+	if _, err := Evaluate("x", []float64{1}, []float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN phi accepted")
+	}
+}
+
+func TestRunScoresSketchWithinBound(t *testing.T) {
+	s, err := core.NewSketch(5, 32, core.PolicyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := stream.Shuffled(10000, 17)
+	phis := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	rep, err := Run(src, s, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 10000 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	bound := s.ErrorBound() / float64(rep.N)
+	if got := rep.MaxEpsilon(); got > bound+1e-3 {
+		t.Fatalf("observed epsilon %v exceeds sketch bound %v", got, bound)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestRunPermutationOracleAgreesWithValues(t *testing.T) {
+	// On a permutation of 1..n the rank of value v is v, so the report's
+	// rank error must equal |estimate - target| exactly.
+	s, err := core.NewSketch(4, 16, core.PolicyMunroPaterson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(stream.Shuffled(5000, 3), s, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Results[0]
+	if want := int64(math.Abs(q.Estimate - float64(q.Target))); q.RankError != want {
+		t.Fatalf("rank error %d, want |%v - %d| = %d", q.RankError, q.Estimate, q.Target, want)
+	}
+}

@@ -1,0 +1,121 @@
+// Package window maintains quantiles over the most recent W tumbling
+// windows of a stream: a ring of per-window sketches whose final buffers
+// are combined at query time with the paper's parallel OUTPUT phase
+// (Section 4.9). This is the pattern a monitoring system uses for "p99
+// over the last 5 minutes, refreshed each minute": each window is one pass,
+// old windows age out wholesale, and the combined answer keeps an explicit
+// rank-error bound.
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"mrl/internal/core"
+	"mrl/internal/parallel"
+	"mrl/internal/params"
+)
+
+// Ring is a fixed-length ring of tumbling-window sketches. It is not safe
+// for concurrent use.
+type Ring struct {
+	plan    params.Plan
+	windows []*core.Sketch
+	head    int // index of the current (filling) window
+	filled  int // number of windows that have ever been started
+}
+
+// NewRing returns a ring of `windows` tumbling windows, each provisioned
+// for epsilon over at most perWindow elements.
+func NewRing(windows int, epsilon float64, perWindow int64) (*Ring, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("window: ring size %d must be positive", windows)
+	}
+	plan, err := params.OptimizeNew(epsilon, perWindow)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ring{plan: plan, windows: make([]*core.Sketch, windows)}
+	s, err := plan.NewSketch()
+	if err != nil {
+		return nil, err
+	}
+	r.windows[0] = s
+	r.filled = 1
+	return r, nil
+}
+
+// Add records a value into the current window.
+func (r *Ring) Add(v float64) error {
+	return r.windows[r.head].Add(v)
+}
+
+// Rotate closes the current window and starts a new one, evicting the
+// oldest window once the ring is full.
+func (r *Ring) Rotate() error {
+	next := (r.head + 1) % len(r.windows)
+	if r.windows[next] == nil {
+		s, err := r.plan.NewSketch()
+		if err != nil {
+			return err
+		}
+		r.windows[next] = s
+	} else {
+		r.windows[next].Reset()
+	}
+	r.head = next
+	if r.filled < len(r.windows) {
+		r.filled++
+	}
+	return nil
+}
+
+// Windows returns how many windows currently hold data (including the
+// filling one).
+func (r *Ring) Windows() int { return r.filled }
+
+// Count returns the total elements across the live windows.
+func (r *Ring) Count() int64 {
+	var total int64
+	for _, w := range r.windows {
+		if w != nil {
+			total += w.Count()
+		}
+	}
+	return total
+}
+
+// MemoryElements returns the buffer footprint across the ring.
+func (r *Ring) MemoryElements() int64 {
+	var total int64
+	for _, w := range r.windows {
+		if w != nil {
+			total += int64(w.MemoryElements())
+		}
+	}
+	return total
+}
+
+// Quantiles answers quantiles over the union of all live windows, with the
+// combined Section 4.9 error bound (in ranks over the union's Count).
+func (r *Ring) Quantiles(phis []float64) (values []float64, errorBound float64, err error) {
+	live := make([]*core.Sketch, 0, len(r.windows))
+	for _, w := range r.windows {
+		if w != nil && w.Count() > 0 {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return nil, 0, errors.New("window: no data in any window")
+	}
+	res, err := parallel.Combine(live, phis)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Values, res.ErrorBound, nil
+}
+
+// WindowQuantile answers a quantile over the current window only.
+func (r *Ring) WindowQuantile(phi float64) (float64, error) {
+	return r.windows[r.head].Quantile(phi)
+}

@@ -1,0 +1,159 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(3, 0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows() != 1 {
+		t.Fatalf("fresh ring has %d windows", r.Windows())
+	}
+	for i := 1; i <= 10000; i++ {
+		if err := r.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	med, err := r.WindowQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-5000) > 101 {
+		t.Fatalf("window median = %v", med)
+	}
+	vs, bound, err := r.Quantiles([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vs[0]-5000) > bound+1 {
+		t.Fatalf("union median %v off beyond bound %v", vs[0], bound)
+	}
+	if r.Count() != 10000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestRingRotationEvictsOldData(t *testing.T) {
+	r, err := NewRing(2, 0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: values near 0. Window 2: near 100. Window 3: near 200 —
+	// evicts window 1, so the union should sit in [100, 200].
+	for w, base := range []float64{0, 100, 200} {
+		if w > 0 {
+			if err := r.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			if err := r.Add(base + float64(i%10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if r.Windows() != 2 {
+		t.Fatalf("ring holds %d windows, want 2", r.Windows())
+	}
+	if r.Count() != 10000 {
+		t.Fatalf("Count = %d after eviction", r.Count())
+	}
+	vs, _, err := r.Quantiles([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] < 100 {
+		t.Fatalf("min %v includes evicted window", vs[0])
+	}
+	if vs[1] < 200 {
+		t.Fatalf("max %v misses the newest window", vs[1])
+	}
+}
+
+func TestRingUnionAccuracy(t *testing.T) {
+	const perWindow = 20000
+	const windows = 4
+	r, err := NewRing(windows, 0.005, perWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread a permutation of 1..80000 across 4 windows round-robin-ish:
+	// window w gets values w*20000+1 .. (w+1)*20000 shuffled by stride.
+	for w := 0; w < windows; w++ {
+		if w > 0 {
+			if err := r.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < perWindow; i++ {
+			v := float64(w*perWindow + (i*7919)%perWindow + 1)
+			if err := r.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n := float64(windows * perWindow)
+	vs, bound, err := r.Quantiles([]float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range []float64{0.25, 0.5, 0.75} {
+		want := math.Ceil(phi * n)
+		if diff := math.Abs(vs[i] - want); diff > bound+1 {
+			t.Errorf("phi=%v: union estimate %v off by %v > bound %v", phi, vs[i], diff, bound)
+		}
+	}
+	if bound > 0.03*n {
+		t.Errorf("union bound %v too loose", bound)
+	}
+}
+
+func TestRingEmptyQueries(t *testing.T) {
+	r, err := NewRing(2, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Quantiles([]float64{0.5}); err == nil {
+		t.Fatal("empty ring answered")
+	}
+	if _, err := NewRing(0, 0.1, 100); err == nil {
+		t.Fatal("ring size 0 accepted")
+	}
+	if _, err := NewRing(2, 0.1, 0); err == nil {
+		t.Fatal("perWindow 0 accepted")
+	}
+}
+
+func TestRingReusesResetSketches(t *testing.T) {
+	r, err := NewRing(2, 0.05, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWindow := r.MemoryElements() // one sketch allocated at construction
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 1000; i++ {
+			if err := r.Add(float64(round*1000 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After 6 rotations over a size-2 ring, exactly 2 sketches exist:
+	// rotation reuses Reset sketches instead of allocating fresh ones.
+	if r.MemoryElements() != 2*perWindow {
+		t.Fatalf("memory = %d elements, want exactly %d", r.MemoryElements(), 2*perWindow)
+	}
+	if r.Windows() != 2 {
+		t.Fatalf("Windows = %d", r.Windows())
+	}
+	// The current (just-rotated) window is empty; older one holds data.
+	if r.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000 (one full window + one empty)", r.Count())
+	}
+}

@@ -1,0 +1,64 @@
+package ordered
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func BenchmarkAddInt(b *testing.B) {
+	s, err := NewWithGeometry(10, 596, intCmp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	vals := make([]int, 1<<16)
+	for i := range vals {
+		vals[i] = r.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(vals[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddString(b *testing.B) {
+	s, err := NewWithGeometry(10, 596, strings.Compare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]string, 1<<16)
+	r := rand.New(rand.NewSource(2))
+	for i := range vals {
+		vals[i] = fmt.Sprintf("key-%08d", r.Intn(1<<24))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(vals[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantilesString(b *testing.B) {
+	s, err := NewWithGeometry(10, 596, strings.Compare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1<<18; i++ {
+		if err := s.Add(fmt.Sprintf("key-%08d", r.Intn(1<<24))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	phis := []float64{0.25, 0.5, 0.75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Quantiles(phis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

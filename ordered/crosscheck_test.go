@@ -1,0 +1,78 @@
+package ordered
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrl/internal/core"
+)
+
+func float64Cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestCrossCheckAgainstCore: package ordered re-implements the new policy
+// independently of internal/core. On identical (b, k) and identical input
+// the two implementations must run the same collapse schedule and return
+// identical interior quantiles (extreme ranks are exact in both). This is
+// a mutual consistency proof between the two codebases.
+func TestCrossCheckAgainstCore(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(5)
+		k := 1 + r.Intn(20)
+		n := 1 + r.Intn(4000)
+
+		g, err := NewWithGeometry(b, k, float64Cmp)
+		if err != nil {
+			return false
+		}
+		c, err := core.NewSketch(b, k, core.PolicyNew)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v := float64(r.Intn(10 * n))
+			if g.Add(v) != nil || c.Add(v) != nil {
+				return false
+			}
+		}
+		st := c.Stats()
+		if g.collapses != st.Collapses || g.weightSum != st.WeightSum {
+			t.Logf("seed=%d b=%d k=%d n=%d: schedules diverged (C %d vs %d, W %d vs %d)",
+				seed, b, k, n, g.collapses, st.Collapses, g.weightSum, st.WeightSum)
+			return false
+		}
+		if g.ErrorBound() != c.ErrorBound() {
+			t.Logf("seed=%d: bounds %v vs %v", seed, g.ErrorBound(), c.ErrorBound())
+			return false
+		}
+		// Interior quantiles: identical positions in identical merges. The
+		// only representational difference (sentinel padding vs short
+		// buffer) cancels because the position mapping is the same.
+		for _, phi := range []float64{0.2, 0.5, 0.8} {
+			gv, err1 := g.Quantile(phi)
+			cv, err2 := c.Quantile(phi)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if gv != cv {
+				t.Logf("seed=%d b=%d k=%d n=%d phi=%v: ordered %v vs core %v",
+					seed, b, k, n, phi, gv, cv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package ordered_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mrl/ordered"
+)
+
+// Quantiles over string keys: the range-partitioning use case for text
+// columns.
+func Example() {
+	sk, err := ordered.New(0.05, 26, strings.Compare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 'z'; c >= 'a'; c-- { // reverse order on purpose
+		if err := sk.Add(string(c)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	median, err := sk.Quantile(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(median)
+	// Output: m
+}
+
+// Splitters divide a key space into near-equal ranges.
+func ExampleSketch_Splitters() {
+	sk, err := ordered.New(0.01, 1000, strings.Compare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := sk.Add(fmt.Sprintf("user-%03d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sp, err := sk.Splitters(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The middle splitter lands within epsilon*N = 10 keys of user-499.
+	var mid int
+	if _, err := fmt.Sscanf(sp[1], "user-%d", &mid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sp), mid >= 489 && mid <= 509)
+	// Output: 3 true
+}

@@ -1,0 +1,271 @@
+package ordered
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New[int](0.01, 1000, nil); err == nil {
+		t.Error("nil comparator accepted")
+	}
+	if _, err := New((-0.1), 1000, intCmp); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := NewWithGeometry(1, 10, intCmp); err == nil {
+		t.Error("b=1 accepted")
+	}
+	if _, err := NewWithGeometry(3, 0, intCmp); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	s, err := New(0.01, 1000, intCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if s.ErrorBound() != 0 {
+		t.Fatal("empty sketch has a bound")
+	}
+}
+
+func TestNaNLikeRejected(t *testing.T) {
+	cmp := func(a, b float64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		case a == b:
+			return 0
+		default:
+			return 1 // NaN breaks the total order
+		}
+	}
+	s, err := New(0.1, 100, cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestIntAccuracyWithinBound(t *testing.T) {
+	const n = 50000
+	const eps = 0.005
+	s, err := New(eps, int64(n), intCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, v := range perm {
+		if err := s.Add(v + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound := s.ErrorBound()
+	if bound > eps*n {
+		t.Fatalf("bound %v exceeds contract %v", bound, eps*float64(n))
+	}
+	for _, phi := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := int(math.Ceil(phi * n))
+		if target < 1 {
+			target = 1
+		}
+		if diff := math.Abs(float64(got - target)); diff > bound+1 {
+			t.Errorf("phi=%v: got %d, target %d, bound %v", phi, got, target, bound)
+		}
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	s, err := NewWithGeometry(3, 4, intCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(4)).Perm(5000)
+	for _, v := range perm {
+		if err := s.Add(v + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, err := s.Quantile(0)
+	if err != nil || lo != 1 {
+		t.Fatalf("min = %d, %v", lo, err)
+	}
+	hi, err := s.Quantile(1)
+	if err != nil || hi != 5000 {
+		t.Fatalf("max = %d, %v", hi, err)
+	}
+}
+
+// TestStringSplitters is the motivating use case: range-partitioning
+// splitters over string keys.
+func TestStringSplitters(t *testing.T) {
+	const n = 40000
+	const eps = 0.005
+	s, err := New(eps, int64(n), strings.Compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys "key-000000" .. "key-039999" arrive shuffled; lexicographic
+	// order equals numeric order thanks to zero padding.
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	for _, v := range perm {
+		if err := s.Add(fmt.Sprintf("key-%06d", v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := s.Splitters(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 3 {
+		t.Fatalf("splitters = %v", sp)
+	}
+	bound := s.ErrorBound()
+	for i, splitter := range sp {
+		var rank int
+		if _, err := fmt.Sscanf(splitter, "key-%d", &rank); err != nil {
+			t.Fatalf("splitter %q not a key", splitter)
+		}
+		want := float64((i + 1) * n / 4)
+		if diff := math.Abs(float64(rank+1) - want); diff > bound+1 {
+			t.Errorf("splitter %d = %q (rank %d), want near %v (bound %v)", i, splitter, rank+1, want, bound)
+		}
+	}
+	if !sort.StringsAreSorted(sp) {
+		t.Fatalf("splitters not sorted: %v", sp)
+	}
+}
+
+func TestQuantilesPhiValidation(t *testing.T) {
+	s, err := New(0.1, 100, intCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantiles([]float64{phi}); err == nil {
+			t.Errorf("phi=%v accepted", phi)
+		}
+	}
+	if _, err := s.Splitters(1); err == nil {
+		t.Error("1 partition accepted")
+	}
+}
+
+// TestMatchesFloatSketchSchedule: with the same geometry and input, the
+// generic sketch and the float64 core must report identical collapse
+// accounting (they run the same policy), and near-identical answers.
+func TestPropertyAccuracy(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(4)
+		k := 1 + r.Intn(16)
+		n := 1 + r.Intn(3000)
+		s, err := NewWithGeometry(b, k, intCmp)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)
+		for _, v := range perm {
+			if s.Add(v+1) != nil {
+				return false
+			}
+		}
+		bound := s.ErrorBound()
+		for _, phi := range []float64{0, 0.3, 0.5, 0.8, 1} {
+			got, err := s.Quantile(phi)
+			if err != nil {
+				return false
+			}
+			target := int(math.Ceil(phi * float64(n)))
+			if target < 1 {
+				target = 1
+			}
+			if math.Abs(float64(got-target)) > bound+1 {
+				t.Logf("seed=%d b=%d k=%d n=%d phi=%v: got %d target %d bound %v",
+					seed, b, k, n, phi, got, target, bound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateHeavyStrings(t *testing.T) {
+	s, err := NewWithGeometry(4, 8, strings.Compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"apple", "banana", "cherry"}
+	for i := 0; i < 3000; i++ {
+		if err := s.Add(words[i%3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != "banana" {
+		t.Fatalf("median = %q, want banana", med)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := NewWithGeometry(3, 4, intCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Add(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Reset()
+	if s.Count() != 0 || s.ErrorBound() != 0 {
+		t.Fatalf("post-Reset count=%d bound=%v", s.Count(), s.ErrorBound())
+	}
+	if _, err := s.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if err := s.Add(7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Quantile(0)
+	if err != nil || got != 7 {
+		t.Fatalf("post-Reset min = %v, %v (stale extremes?)", got, err)
+	}
+}

@@ -1,0 +1,68 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchValues(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.Float64()
+	}
+	return vs
+}
+
+func BenchmarkFacadeAdd(b *testing.B) {
+	sk, err := New(Config{Epsilon: 0.001, N: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := benchValues(1<<16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.Add(vals[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+	b.ReportMetric(float64(sk.MemoryElements()), "sketch-elems")
+}
+
+func BenchmarkFacadeAddSampled(b *testing.B) {
+	sk, err := New(Config{Epsilon: 0.001, N: 1 << 40, Delta: 1e-4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !sk.Sampled() {
+		b.Skip("plan did not sample")
+	}
+	vals := benchValues(1<<16, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.Add(vals[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(8)
+	b.ReportMetric(float64(sk.MemoryElements()), "sketch-elems")
+}
+
+func BenchmarkFacadeQuantile(b *testing.B) {
+	sk, err := New(Config{Epsilon: 0.001, N: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sk.AddSlice(benchValues(1<<20, 3)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Median(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

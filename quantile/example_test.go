@@ -1,0 +1,116 @@
+package quantile_test
+
+import (
+	"fmt"
+	"log"
+
+	"mrl/quantile"
+)
+
+// The basic workflow: provision for (epsilon, N), stream, query.
+func Example() {
+	sk, err := quantile.New(quantile.Config{Epsilon: 0.01, N: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 100000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	median, err := sk.Median()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The guarantee: |rank(median) - 50000| <= 0.01 * 100000 = 1000.
+	fmt.Println(median >= 49000 && median <= 51000)
+	// Output: true
+}
+
+// Many quantiles cost one summary and one query (Section 4.7 of the
+// paper): no extra memory per quantile.
+func ExampleSketch_Quantiles() {
+	sk, err := quantile.New(quantile.Config{Epsilon: 0.05, N: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	qs, err := sk.Quantiles([]float64{0.25, 0.5, 0.75})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range qs {
+		fmt.Println(q >= 1 && q <= 1000)
+	}
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// Extremes stay exact forever: the sketch tracks min and max outside the
+// collapsing buffers.
+func ExampleSketch_Min() {
+	sk, err := quantile.New(quantile.Config{Epsilon: 0.1, N: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 10000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lo, _ := sk.Min()
+	hi, _ := sk.Max()
+	fmt.Println(lo, hi)
+	// Output: 1 10000
+}
+
+// Rank queries are the dual of quantile queries and carry the same
+// guarantee.
+func ExampleSketch_Rank() {
+	sk, err := quantile.New(quantile.Config{Epsilon: 0.01, N: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 10000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	r, err := sk.Rank(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// True rank is 5000; the estimate is within 0.01*10000 = 100 ranks.
+	fmt.Println(r >= 4900 && r <= 5100)
+	// Output: true
+}
+
+// Partition a dataset, sketch each partition independently (possibly on
+// different machines, via MarshalBinary), and combine.
+func ExampleCombine() {
+	var sketches []*quantile.Sketch
+	for p := 0; p < 4; p++ {
+		sk, err := quantile.New(quantile.Config{Epsilon: 0.01, N: 25000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := p * 25000; i < (p+1)*25000; i++ {
+			if err := sk.Add(float64(i + 1)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sketches = append(sketches, sk)
+	}
+	values, bound, err := quantile.Combine(sketches, []float64{0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(values[0] >= 50000-bound-1 && values[0] <= 50000+bound+1)
+	// Output: true
+}

@@ -1,0 +1,204 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+)
+
+// sampledSketch builds a sketch whose plan samples, skipping the test
+// otherwise.
+func sampledSketch(t *testing.T, n int64) *Sketch {
+	t.Helper()
+	sk, err := New(Config{Epsilon: 0.01, N: n, Delta: 1e-4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Sampled() {
+		t.Skip("plan did not sample at this size")
+	}
+	return sk
+}
+
+func TestDeltaRejectsNonDefaultPolicy(t *testing.T) {
+	_, err := New(Config{Epsilon: 0.01, N: 1e8, Delta: 1e-4, Policy: PolicyMunroPaterson})
+	if err == nil {
+		t.Fatal("Delta with a non-default policy accepted (it would be silently ignored)")
+	}
+}
+
+func TestResetDeterministic(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.05, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.AddSlice([]float64{5, 1, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", sk.Count())
+	}
+	if err := sk.Add(42); err != nil {
+		t.Fatal(err)
+	}
+	med, err := sk.Median()
+	if err != nil || med != 42 {
+		t.Fatalf("median after Reset = %v, %v", med, err)
+	}
+}
+
+func TestResetSampledRejected(t *testing.T) {
+	sk := sampledSketch(t, 4_000_000)
+	if err := sk.Reset(); err == nil {
+		t.Fatal("sampled sketch Reset accepted")
+	}
+}
+
+func TestSampledAddSliceAndAccessors(t *testing.T) {
+	const n = 4_000_000
+	sk := sampledSketch(t, n)
+	// AddSlice must take the sampled path.
+	chunk := make([]float64, 10000)
+	for i := range chunk {
+		chunk[i] = float64(i + 1)
+	}
+	if err := sk.AddSlice(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Count() != 10000 {
+		t.Fatalf("Count = %d", sk.Count())
+	}
+	if sk.Describe() == "" || sk.Describe()[0:7] != "sampled" {
+		t.Fatalf("Describe = %q", sk.Describe())
+	}
+	// Min/Max on a sampled sketch answer from the sample.
+	if _, err := sk.Min(); err != nil {
+		// The selector may have skipped every element so far; feed more.
+		for i := 0; i < 100000; i++ {
+			if err := sk.Add(float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := sk.Min(); err != nil {
+		t.Fatalf("sampled Min: %v", err)
+	}
+	if _, err := sk.Max(); err != nil {
+		t.Fatalf("sampled Max: %v", err)
+	}
+	if _, err := sk.CDF(5000); err != nil {
+		t.Fatalf("sampled CDF: %v", err)
+	}
+}
+
+func TestAddSliceErrorPropagationSampled(t *testing.T) {
+	sk := sampledSketch(t, 4_000_000)
+	if err := sk.AddSlice([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN in sampled AddSlice accepted")
+	}
+}
+
+func TestCDFDeterministic(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := sk.CDF(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.25) > 0.02 {
+		t.Fatalf("CDF(250) = %v", c)
+	}
+	mn, err := sk.Min()
+	if err != nil || mn != 1 {
+		t.Fatalf("Min = %v, %v", mn, err)
+	}
+	mx, err := sk.Max()
+	if err != nil || mx != 1000 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	var sk Sketch
+	if err := sk.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRankSampledEmptySample(t *testing.T) {
+	sk := sampledSketch(t, 100_000_000)
+	// No elements at all: rank queries error via the inner sketch.
+	if _, err := sk.Rank(1); err == nil {
+		t.Fatal("rank on empty sampled sketch accepted")
+	}
+}
+
+func TestMergeLive(t *testing.T) {
+	mk := func(lo, hi int) *Sketch {
+		sk, err := New(Config{Epsilon: 0.01, N: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := lo; v <= hi; v++ {
+			if err := sk.Add(float64(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sk
+	}
+	a := mk(1, 10000)
+	b := mk(10001, 20000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 20000 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	bound, ok := a.ErrorBound()
+	if !ok {
+		t.Fatal("merged sketch lost its bound")
+	}
+	med, err := a.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-10000) > bound+1 {
+		t.Fatalf("merged median %v off beyond %v", med, bound)
+	}
+	// Still live: keep adding.
+	if err := a.Add(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("nil merge should be a no-op")
+	}
+}
+
+func TestMergeSampledRejected(t *testing.T) {
+	smp := sampledSketch(t, 100_000_000)
+	det, err := New(Config{Epsilon: 0.01, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Merge(smp); err == nil {
+		t.Fatal("merging a sampled sketch accepted")
+	}
+	if err := smp.Merge(det); err == nil {
+		t.Fatal("merging into a sampled sketch accepted")
+	}
+}
+
+func TestExplicitGeometryRejectsDelta(t *testing.T) {
+	if _, err := New(Config{B: 5, K: 100, Delta: 1e-4}); err == nil {
+		t.Fatal("explicit geometry with Delta accepted (Delta would be silently ignored)")
+	}
+}

@@ -1,0 +1,240 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/stream"
+	"mrl/internal/validate"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},                                  // nothing set
+		{Epsilon: 0.01},                     // no N
+		{N: 1000},                           // no epsilon
+		{Epsilon: -1, N: 1000},              // bad epsilon
+		{Epsilon: 1.2, N: 1000},             // bad epsilon
+		{Epsilon: 0.01, N: 1000, Delta: -1}, // bad delta
+		{Epsilon: 0.01, N: 1000, Delta: 2},  // bad delta
+		{B: 1, K: 10},                       // bad geometry
+		{B: 3, K: 0},                        // bad geometry
+		{Epsilon: 0.01, N: 1000, Policy: Policy(9)},
+		{Epsilon: 0.01, N: 1000, NumQuantiles: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+}
+
+func TestDeterministicContract(t *testing.T) {
+	const n = 50000
+	const eps = 0.005
+	for _, pol := range []Policy{PolicyNew, PolicyMunroPaterson, PolicyARS} {
+		sk, err := New(Config{Epsilon: eps, N: n, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phis := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+		rep, err := validate.Run(stream.Shuffled(n, 21), sk, phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.MaxEpsilon(); got > eps {
+			t.Errorf("%v: observed epsilon %v exceeds contract %v", pol, got, eps)
+		}
+		bound, ok := sk.ErrorBound()
+		if !ok {
+			t.Fatalf("%v: deterministic sketch has no bound", pol)
+		}
+		if bound > eps*n {
+			t.Errorf("%v: live bound %v exceeds eps*N %v", pol, bound, eps*float64(n))
+		}
+		if sk.Sampled() {
+			t.Errorf("%v: deterministic config reported sampled", pol)
+		}
+		if sk.Count() != n {
+			t.Errorf("%v: count %d", pol, sk.Count())
+		}
+		if sk.Describe() == "" {
+			t.Errorf("%v: empty description", pol)
+		}
+	}
+}
+
+func TestExplicitGeometry(t *testing.T) {
+	sk, err := New(Config{B: 5, K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.MemoryElements() != 500 {
+		t.Fatalf("memory = %d", sk.MemoryElements())
+	}
+	if err := sk.AddSlice([]float64{3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	med, err := sk.Median()
+	if err != nil || med != 2 {
+		t.Fatalf("median = %v, %v", med, err)
+	}
+}
+
+func TestSampledContract(t *testing.T) {
+	const n = 4_000_000
+	const eps = 0.01
+	sk, err := New(Config{Epsilon: eps, N: n, Delta: 1e-4, NumQuantiles: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Sampled() {
+		t.Fatalf("expected sampling at N=%d: %s", int64(n), sk.Describe())
+	}
+	if _, ok := sk.ErrorBound(); ok {
+		t.Fatal("sampled sketch returned a deterministic bound")
+	}
+	phis := []float64{0.5}
+	rep, err := validate.Run(stream.Shuffled(n, 22), sk, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxEpsilon(); got > eps {
+		t.Errorf("observed epsilon %v exceeds %v (probability 1e-4 event; investigate if persistent)", got, eps)
+	}
+	// Memory independence: the sketch must be far smaller than exact
+	// storage and identical to the N=10x sketch.
+	sk2, err := New(Config{Epsilon: eps, N: 10 * n, Delta: 1e-4, NumQuantiles: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.MemoryElements() != sk2.MemoryElements() {
+		t.Errorf("sampled memory depends on N: %d vs %d", sk.MemoryElements(), sk2.MemoryElements())
+	}
+}
+
+func TestSampledSmallNFallsBackToDeterministic(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 1000, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Sampled() {
+		t.Fatal("tiny dataset sampled")
+	}
+	if _, ok := sk.ErrorBound(); !ok {
+		t.Fatal("deterministic fallback lost its bound")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	build := func() *Sketch {
+		sk, err := New(Config{Epsilon: 0.02, N: 1_000_000, Delta: 1e-3, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sk
+	}
+	a, b := build(), build()
+	if !a.Sampled() {
+		t.Skip("plan did not sample")
+	}
+	src := stream.Shuffled(1_000_000, 23)
+	if err := stream.Each(src, a.Add); err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	if err := stream.Each(src, b.Add); err != nil {
+		t.Fatal(err)
+	}
+	av, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := b.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av != bv {
+		t.Fatalf("same seed, different answers: %v vs %v", av, bv)
+	}
+}
+
+func TestCombinePartitions(t *testing.T) {
+	const n = 40000
+	const parts = 4
+	data := stream.Drain(stream.Shuffled(n, 24))
+	sketches := make([]*Sketch, parts)
+	for i := range sketches {
+		sk, err := New(Config{Epsilon: 0.01, N: n / parts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sk.AddSlice(data[i*n/parts : (i+1)*n/parts]); err != nil {
+			t.Fatal(err)
+		}
+		sketches[i] = sk
+	}
+	values, bound, err := Combine(sketches, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(values[0] - n/2); diff > bound+1 {
+		t.Fatalf("combined median error %v exceeds bound %v", diff, bound)
+	}
+	if bound > 0.05*n {
+		t.Fatalf("combined bound %v unreasonably loose", bound)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	if _, _, err := Combine(nil, []float64{0.5}); err == nil {
+		t.Error("no sketches accepted")
+	}
+	smp, err := New(Config{Epsilon: 0.01, N: 100_000_000, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smp.Sampled() {
+		t.Skip("plan did not sample")
+	}
+	if _, _, err := Combine([]*Sketch{smp}, []float64{0.5}); err == nil {
+		t.Error("sampled sketch combined")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyNew.String() != "new" || PolicyMunroPaterson.String() != "munro-paterson" || PolicyARS.String() != "alsabti-ranka-singh" {
+		t.Fatalf("policy names: %v %v %v", PolicyNew, PolicyMunroPaterson, PolicyARS)
+	}
+}
+
+func TestAddNaN(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.1, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Add(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestQueryMidStream(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 {
+			med, err := sk.Median()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(med-float64(i)/2) > 0.01*float64(i)+1 {
+				t.Fatalf("median after %d elements = %v", i, med)
+			}
+		}
+	}
+}

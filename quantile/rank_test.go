@@ -1,0 +1,109 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRankAndCDF(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10000; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound, _ := sk.ErrorBound()
+	for _, v := range []float64{1, 2500, 5000, 9999} {
+		r, err := sk.Rank(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(float64(r) - v); diff > bound+1 {
+			t.Errorf("Rank(%v) = %d, off by %v > bound %v", v, r, diff, bound)
+		}
+		c, err := sk.CDF(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-v/10000) > 0.011 {
+			t.Errorf("CDF(%v) = %v", v, c)
+		}
+	}
+}
+
+func TestRankSampled(t *testing.T) {
+	const n = 4_000_000
+	sk, err := New(Config{Epsilon: 0.01, N: n, Delta: 1e-4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Sampled() {
+		t.Skip("plan did not sample")
+	}
+	for i := 1; i <= n; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := sk.Rank(n / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r)-n/2) > 0.01*n {
+		t.Errorf("sampled Rank(N/2) = %d, want ~%d", r, n/2)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3333; i++ {
+		if err := sk.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Sketch
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sk.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restored median %v != original %v", b, a)
+	}
+	if restored.Count() != sk.Count() {
+		t.Fatalf("restored count %d != %d", restored.Count(), sk.Count())
+	}
+	// Restored sketches combine like any other deterministic sketch.
+	if _, _, err := Combine([]*Sketch{&restored, sk}, []float64{0.5}); err != nil {
+		t.Fatalf("combining restored sketch: %v", err)
+	}
+}
+
+func TestSerializationRejectsSampled(t *testing.T) {
+	sk, err := New(Config{Epsilon: 0.01, N: 100_000_000, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Sampled() {
+		t.Skip("plan did not sample")
+	}
+	if _, err := sk.MarshalBinary(); err == nil {
+		t.Fatal("sampled sketch serialised")
+	}
+}

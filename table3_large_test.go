@@ -1,0 +1,63 @@
+package mrl
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/params"
+	"mrl/internal/stream"
+)
+
+// TestTable3LargeScale runs the N=1e7 column of Table 3 (skipped with
+// -short): the paper's largest simulated dataset, both arrival orders.
+func TestTable3LargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e7-element simulation; skipped with -short")
+	}
+	const n = int64(1e7)
+	const eps = 0.001
+	phis := make([]float64, 15)
+	for q := 1; q <= 15; q++ {
+		phis[q-1] = float64(q) / 16
+	}
+	plan, err := params.OptimizeNew(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []string{"sorted", "random"} {
+		var src stream.Source
+		if order == "sorted" {
+			src = stream.Sorted(n)
+		} else {
+			src = stream.Shuffled(n, 42)
+		}
+		sk, err := plan.NewSketch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Each(src, sk.Add); err != nil {
+			t.Fatal(err)
+		}
+		if f := sk.Stats().Fallbacks; f != 0 {
+			t.Errorf("%s: %d fallbacks at provisioned capacity", order, f)
+		}
+		ests, err := sk.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i, phi := range phis {
+			target := math.Ceil(phi * float64(n))
+			if e := math.Abs(ests[i]-target) / float64(n); e > worst {
+				worst = e
+			}
+		}
+		if worst > eps {
+			t.Errorf("%s: worst observed epsilon %v exceeds %v", order, worst, eps)
+		}
+		// The paper's Table 3 regime: actual error well under the contract.
+		if worst > 0.0005 {
+			t.Errorf("%s: worst observed epsilon %v far above the paper's Table 3 regime", order, worst)
+		}
+	}
+}
