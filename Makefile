@@ -2,13 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce examples clean
+.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck
 
 all: build test
+
+# check is the CI / pre-merge gate: build, vet, formatting, tests, and the
+# race detector over the concurrent packages.
+check: build vet fmtcheck test race
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt required on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -40,6 +51,7 @@ examples:
 	$(GO) run ./examples/histogram
 	$(GO) run ./examples/partitioner
 	$(GO) run ./examples/parallel
+	$(GO) run ./examples/concurrent
 	$(GO) run ./examples/groupby
 	$(GO) run ./examples/multicolumn
 	$(GO) run ./examples/monitoring

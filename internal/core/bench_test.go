@@ -154,3 +154,30 @@ func BenchmarkMarshal(b *testing.B) {
 		b.SetBytes(int64(len(data)))
 	})
 }
+
+// BenchmarkAddBatch measures bulk ingestion throughput against the
+// element-by-element Add loop at several batch sizes.
+func BenchmarkAddBatch(b *testing.B) {
+	data := benchData(1<<16, 6)
+	for _, batch := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, err := NewSketch(10, 596, PolicyNew)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				off := i & (1<<16 - 1)
+				end := off + batch
+				if end > 1<<16 {
+					end = 1 << 16
+				}
+				if err := s.AddBatch(data[off:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(8)
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -492,5 +493,98 @@ func TestLeafAccountingMatchesCount(t *testing.T) {
 		if want := int64(437 / 10); st.Leaves != want {
 			t.Errorf("%v: Leaves = %d, want %d", p, st.Leaves, want)
 		}
+	}
+}
+
+// TestAddBatchMatchesAddLoop: bulk ingestion must be a pure optimisation —
+// the same stream fed through AddBatch in arbitrary chunkings produces
+// exactly the state (answers, accounting, extremes) of an element-by-element
+// Add loop.
+func TestAddBatchMatchesAddLoop(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		b := 2 + r.Intn(5)
+		k := 1 + r.Intn(40)
+		n := 1 + r.Intn(4000)
+		policy := Policies[r.Intn(len(Policies))]
+		data := permutation(n, seed+100)
+
+		loop := mustSketch(t, b, k, policy)
+		for _, v := range data {
+			if err := loop.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch := mustSketch(t, b, k, policy)
+		for off := 0; off < n; {
+			sz := 1 + r.Intn(2*k+3)
+			if off+sz > n {
+				sz = n - off
+			}
+			if err := batch.AddBatch(data[off : off+sz]); err != nil {
+				t.Fatal(err)
+			}
+			off += sz
+		}
+
+		if loop.Count() != batch.Count() {
+			t.Fatalf("seed=%d: count %d vs %d", seed, loop.Count(), batch.Count())
+		}
+		if loop.Stats() != batch.Stats() {
+			t.Fatalf("seed=%d %v b=%d k=%d: stats %+v vs %+v", seed, policy, b, k, loop.Stats(), batch.Stats())
+		}
+		if loop.ErrorBound() != batch.ErrorBound() {
+			t.Fatalf("seed=%d: bound %v vs %v", seed, loop.ErrorBound(), batch.ErrorBound())
+		}
+		lMin, _ := loop.Min()
+		bMin, _ := batch.Min()
+		lMax, _ := loop.Max()
+		bMax, _ := batch.Max()
+		if lMin != bMin || lMax != bMax {
+			t.Fatalf("seed=%d: extremes (%v,%v) vs (%v,%v)", seed, lMin, lMax, bMin, bMax)
+		}
+		for _, phi := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			a, err := loop.Quantile(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := batch.Quantile(phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != c {
+				t.Fatalf("seed=%d phi=%v: %v vs %v", seed, phi, a, c)
+			}
+		}
+	}
+}
+
+// TestAddBatchNaNSemantics: a NaN stops the batch at its index, with the
+// prefix consumed — the same contract as the historical Add loop.
+func TestAddBatchNaNSemantics(t *testing.T) {
+	s := mustSketch(t, 3, 4, PolicyNew)
+	vs := []float64{5, 6, 7, 8, 9, math.NaN(), 10}
+	err := s.AddBatch(vs)
+	if err == nil {
+		t.Fatal("AddBatch accepted a NaN")
+	}
+	if want := "core: element 5:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name index 5", err)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want the 5 elements before the NaN", s.Count())
+	}
+	min, _ := s.Min()
+	max, _ := s.Max()
+	if min != 5 || max != 9 {
+		t.Fatalf("extremes (%v, %v), want (5, 9)", min, max)
+	}
+	// A NaN at position 0 consumes nothing, even on a fresh fill boundary.
+	fresh := mustSketch(t, 3, 4, PolicyNew)
+	if err := fresh.AddBatch([]float64{math.NaN()}); err == nil {
+		t.Fatal("leading NaN accepted")
+	}
+	if fresh.Count() != 0 {
+		t.Fatalf("count = %d after rejected batch", fresh.Count())
 	}
 }

@@ -57,57 +57,130 @@ func Quantiles(sources []stream.Source, b, k int, policy core.Policy, phis []flo
 		}(i)
 	}
 	wg.Wait()
+	// Every partition ran to completion above, so report every failure —
+	// each tagged with its partition index — rather than just the first.
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return Result{}, fmt.Errorf("parallel: partition %d: %w", i, err)
+			failed = append(failed, fmt.Errorf("partition %d: %w", i, err))
 		}
+	}
+	if len(failed) > 0 {
+		return Result{}, fmt.Errorf("parallel: %w", errors.Join(failed...))
 	}
 	return Combine(sketches, phis)
 }
 
-// Combine runs the final OUTPUT phase over the final buffers of
-// independently built sketches: the root-concatenation step of Section 4.9.
-// Empty sketches are skipped; at least one sketch must hold data.
-func Combine(sketches []*core.Sketch, phis []float64) (Result, error) {
-	if len(sketches) == 0 {
-		return Result{}, errors.New("parallel: no sketches")
+// Snapshot is a frozen, self-contained view of one sketch: deep copies of
+// the buffers that would feed OUTPUT plus the accounting the combined
+// Lemma 5 bound needs. Because a snapshot owns its data it stays valid while
+// the source sketch keeps absorbing input, which is what lets the combine
+// step run against live, concurrently written sketches (quantile.Concurrent)
+// and not only against statically partitioned stream.Sources.
+type Snapshot struct {
+	// Views holds the final buffers (sorted runs with weights). Empty for a
+	// sketch that has consumed nothing.
+	Views []core.Weighted
+	// Count is the number of elements the sketch had consumed.
+	Count int64
+	// Stats is the sketch's collapse accounting at snapshot time.
+	Stats core.Stats
+}
+
+// Snap freezes the current state of s. A sketch that has consumed no input
+// yields the zero Snapshot, which CombineSnapshots skips.
+func Snap(s *core.Sketch) Snapshot {
+	if s.Count() == 0 {
+		return Snapshot{}
+	}
+	views, err := s.FinalBuffersRaw()
+	if err != nil {
+		// FinalBuffersRaw only errors on an empty sketch, guarded above.
+		return Snapshot{}
+	}
+	return Snapshot{Views: views, Count: s.Count(), Stats: s.Stats()}
+}
+
+// CombineSnapshots runs the final OUTPUT phase of Section 4.9 over frozen
+// sketch states: the weighted merge of every snapshot's final buffers is
+// selected at the requested ranks, and the pooled collapse statistics give
+// the combined worst-case rank error. Empty snapshots are skipped; at least
+// one snapshot must hold data.
+func CombineSnapshots(snaps []Snapshot, phis []float64) (Result, error) {
+	if len(snaps) == 0 {
+		return Result{}, errors.New("parallel: no snapshots")
 	}
 	var views []core.Weighted
 	var count int64
-	var sumW, sumC, wmax int64
 	workers := 0
-	for _, s := range sketches {
-		if s.Count() == 0 {
+	for _, sn := range snaps {
+		if sn.Count == 0 {
 			continue
 		}
-		v, err := s.FinalBuffersRaw()
-		if err != nil {
-			return Result{}, err
-		}
-		views = append(views, v...)
-		count += s.Count()
-		st := s.Stats()
-		sumW += st.WeightSum
-		sumC += st.Collapses
+		views = append(views, sn.Views...)
+		count += sn.Count
 		workers++
 	}
 	if count == 0 {
 		return Result{}, core.ErrEmpty
 	}
-	for _, v := range views {
-		if v.Weight > wmax {
-			wmax = v.Weight
-		}
-	}
 	values, err := selectQuantiles(views, phis, count)
 	if err != nil {
 		return Result{}, err
+	}
+	return Result{
+		Values:     values,
+		Count:      count,
+		ErrorBound: CombinedBound(snaps),
+		Workers:    workers,
+	}, nil
+}
+
+// CombinedBound evaluates the combined Lemma 5 certificate of the snapshots
+// without selecting any quantiles: the telescoping applied to the forest of
+// partition trees hanging off one virtual root, (W - C + P - 2)/2 + wmax
+// over the pooled collapse statistics of the P non-empty snapshots.
+func CombinedBound(snaps []Snapshot) float64 {
+	var sumW, sumC, wmax int64
+	workers := 0
+	for _, sn := range snaps {
+		if sn.Count == 0 {
+			continue
+		}
+		sumW += sn.Stats.WeightSum
+		sumC += sn.Stats.Collapses
+		workers++
+		for _, v := range sn.Views {
+			if v.Weight > wmax {
+				wmax = v.Weight
+			}
+		}
+	}
+	if workers == 0 {
+		return 0
 	}
 	bound := float64(sumW-sumC+int64(workers)-2)/2 + float64(wmax)
 	if bound < 0 {
 		bound = 0
 	}
-	return Result{Values: values, Count: count, ErrorBound: bound, Workers: workers}, nil
+	return bound
+}
+
+// Combine runs the final OUTPUT phase over the final buffers of
+// independently built sketches: the root-concatenation step of Section 4.9.
+// Empty sketches are skipped; at least one sketch must hold data. Combine is
+// a convenience over Snap + CombineSnapshots for callers that own the
+// sketches outright; callers combining live sketches should Snap each one
+// under its own lock and call CombineSnapshots.
+func Combine(sketches []*core.Sketch, phis []float64) (Result, error) {
+	if len(sketches) == 0 {
+		return Result{}, errors.New("parallel: no sketches")
+	}
+	snaps := make([]Snapshot, len(sketches))
+	for i, s := range sketches {
+		snaps[i] = Snap(s)
+	}
+	return CombineSnapshots(snaps, phis)
 }
 
 // TwoStage is the high-parallelism variant of Section 4.9: node roots are

@@ -1,6 +1,7 @@
 package quantile
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -65,4 +66,120 @@ func BenchmarkFacadeQuantile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkConcurrentAdd measures the per-element concurrent ingestion path
+// across shard counts, with GOMAXPROCS-parallel writers.
+func BenchmarkConcurrentAdd(b *testing.B) {
+	vals := benchValues(1<<16, 4)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewConcurrent(ConcurrentConfig{Epsilon: 0.001, N: 1 << 30, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := c.Add(vals[i&(1<<16-1)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.SetBytes(8)
+		})
+	}
+}
+
+// BenchmarkConcurrentAddBatch measures the batched concurrent ingestion
+// path: each writer hands over batches, which the sketch splits across
+// shards under one lock acquisition per chunk.
+func BenchmarkConcurrentAddBatch(b *testing.B) {
+	vals := benchValues(1<<16, 5)
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{256, 4096} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				c, err := NewConcurrent(ConcurrentConfig{Epsilon: 0.001, N: 1 << 30, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					n, off := 0, 0
+					for pb.Next() {
+						n++
+						if n == batch {
+							if err := c.AddBatch(vals[off : off+batch]); err != nil {
+								b.Error(err)
+								return
+							}
+							n = 0
+							off = (off + batch) & (1<<16 - 1)
+						}
+					}
+					if n > 0 {
+						if err := c.AddBatch(vals[:n]); err != nil {
+							b.Error(err)
+						}
+					}
+				})
+				b.SetBytes(8)
+			})
+		}
+	}
+}
+
+// BenchmarkIngestThroughput is the headline single-writer vs N-writer
+// comparison on the same stream: a sequential Sketch fed element-by-element
+// against an 8-shard Concurrent fed in batches by 8 writers. ns/op is
+// ns/element in both cases.
+func BenchmarkIngestThroughput(b *testing.B) {
+	vals := benchValues(1<<20, 6)
+	b.Run("sketch/single-writer/add", func(b *testing.B) {
+		sk, err := New(Config{Epsilon: 0.001, N: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sk.Add(vals[i&(1<<20-1)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(8)
+	})
+	b.Run("concurrent/8-writers/addbatch", func(b *testing.B) {
+		c, err := NewConcurrent(ConcurrentConfig{Epsilon: 0.001, N: 1 << 30, Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 4096
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			n, off := 0, 0
+			for pb.Next() {
+				n++
+				if n == batch {
+					if err := c.AddBatch(vals[off : off+batch]); err != nil {
+						b.Error(err)
+						return
+					}
+					n = 0
+					off = (off + batch) & (1<<20 - 1)
+				}
+			}
+			if n > 0 {
+				if err := c.AddBatch(vals[:n]); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+		b.SetBytes(8)
+	})
 }

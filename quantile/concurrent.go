@@ -1,0 +1,383 @@
+package quantile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mrl/internal/core"
+	"mrl/internal/parallel"
+	"mrl/internal/params"
+)
+
+// ConcurrentConfig describes the accuracy contract and parallelism of a
+// Concurrent sketch.
+type ConcurrentConfig struct {
+	// Epsilon is the rank-error tolerance of the combined answer: every
+	// quantile reported by the Concurrent sketch has rank within Epsilon*N
+	// of exact. Required unless B and K are set explicitly.
+	Epsilon float64
+
+	// N is the (maximum) number of elements the stream will carry, across
+	// all writers. Required unless B and K are set explicitly.
+	N int64
+
+	// Policy selects the collapsing policy used by every shard; the default
+	// PolicyNew is the right choice outside comparative experiments.
+	Policy Policy
+
+	// Shards is the number of independently locked writer shards. It
+	// defaults to runtime.GOMAXPROCS(0): one shard per core is enough to
+	// make uncontended ingestion the common case.
+	Shards int
+
+	// B and K, when both positive, bypass the optimizer and size every
+	// shard directly as B buffers of K elements (expert use; Epsilon and N
+	// are then ignored).
+	B, K int
+}
+
+// concurrentShard pairs one private core sketch with its own lock. The
+// padding keeps neighbouring shard headers on distinct cache lines so that
+// writers hammering different shards do not false-share.
+type concurrentShard struct {
+	mu sync.Mutex
+	sk *core.Sketch
+	_  [40]byte
+}
+
+// Concurrent is a thread-safe, sharded ingestion front end: values are
+// routed to per-core shards, each shard owns a private deterministic Sketch
+// behind its own mutex, and queries snapshot all shards and answer through
+// the paper's Section 4.9 combined OUTPUT phase. All methods are safe for
+// concurrent use by any number of goroutines.
+//
+// Accuracy accounting (Lemma 5 applied to the forest of shard trees hanging
+// off one virtual root): combining P shard roots costs at most P-1 extra
+// ranks on top of the sum of the per-shard certificates, so New provisions
+// each shard for rank error (Epsilon*N - (Shards-1)) / Shards over its
+// ~N/Shards split of the stream. The combined bound reported alongside every
+// answer is computed a posteriori from the collapses that actually happened
+// and therefore stays exact even if routing drifts from a perfect split
+// (overfull shards degrade gracefully through fallback collapses).
+type Concurrent struct {
+	shards  []*concurrentShard
+	next    atomic.Uint64 // round-robin routing cursor
+	policy  Policy
+	perDesc string // provisioning summary for Describe
+}
+
+// concurrentMinChunk is the smallest AddBatch slice worth splitting further:
+// below it the per-shard lock amortizes poorly and a single shard absorbs
+// the whole batch.
+const concurrentMinChunk = 256
+
+// NewConcurrent provisions a sharded concurrent sketch for the given
+// contract. The sampling coupling (Delta) is not supported: sampled sketches
+// cannot be combined, which the concurrent read path relies on.
+func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
+	pol, err := cfg.Policy.core()
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.Shards
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("quantile: shard count %d must be positive", cfg.Shards)
+	}
+
+	var mk func() (*core.Sketch, error)
+	var perDesc string
+	switch {
+	case cfg.B != 0 || cfg.K != 0:
+		if cfg.B < 2 || cfg.K < 1 {
+			return nil, fmt.Errorf("quantile: explicit geometry B=%d K=%d invalid", cfg.B, cfg.K)
+		}
+		mk = func() (*core.Sketch, error) { return core.NewSketch(cfg.B, cfg.K, pol) }
+		perDesc = fmt.Sprintf("policy=%v b=%d k=%d", pol, cfg.B, cfg.K)
+	default:
+		if !(cfg.Epsilon > 0 && cfg.Epsilon < 1) {
+			return nil, fmt.Errorf("quantile: Epsilon %v outside (0,1)", cfg.Epsilon)
+		}
+		if cfg.N < 1 {
+			return nil, fmt.Errorf("quantile: N %d must be positive", cfg.N)
+		}
+		// Split the rank budget: P-1 ranks pay for the root combination,
+		// the rest is divided evenly across the shards' ~N/P substreams.
+		nShard := (cfg.N + int64(p) - 1) / int64(p)
+		budget := cfg.Epsilon*float64(cfg.N) - float64(p-1)
+		if budget <= 0 {
+			return nil, fmt.Errorf(
+				"quantile: Epsilon %v too tight for %d shards at N=%d (need Epsilon*N > Shards-1)",
+				cfg.Epsilon, p, cfg.N)
+		}
+		epsShard := budget / (float64(p) * float64(nShard))
+		plan, err := params.Optimize(pol, epsShard, nShard)
+		if err != nil {
+			return nil, err
+		}
+		mk = plan.NewSketch
+		perDesc = fmt.Sprintf("policy=%v eps=%.3g n=%d b=%d k=%d", pol, epsShard, nShard, plan.B, plan.K)
+	}
+
+	shards := make([]*concurrentShard, p)
+	for i := range shards {
+		sk, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &concurrentShard{sk: sk}
+	}
+	return &Concurrent{shards: shards, policy: cfg.Policy, perDesc: perDesc}, nil
+}
+
+// acquire returns a locked shard, preferring an uncontended one: starting
+// from a round-robin cursor it try-locks each shard in turn, and only blocks
+// on the starting shard when every shard is busy. The round-robin start
+// keeps the element split across shards balanced (within one batch), which
+// is what the per-shard capacity provisioning of NewConcurrent assumes;
+// skipping busy shards trades a little balance for zero waiting, and an
+// overfull shard only costs bound (reported truthfully), never correctness.
+func (c *Concurrent) acquire() *concurrentShard {
+	n := len(c.shards)
+	if n == 1 {
+		sh := c.shards[0]
+		sh.mu.Lock()
+		return sh
+	}
+	start := int(c.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		j := start + i
+		if j >= n {
+			j -= n
+		}
+		if sh := c.shards[j]; sh.mu.TryLock() {
+			return sh
+		}
+	}
+	sh := c.shards[start]
+	sh.mu.Lock()
+	return sh
+}
+
+// Add consumes one stream element. NaN is rejected. Safe for concurrent use.
+func (c *Concurrent) Add(v float64) error {
+	sh := c.acquire()
+	err := sh.sk.Add(v)
+	sh.mu.Unlock()
+	return err
+}
+
+// AddBatch consumes a batch of elements, the preferred high-throughput entry
+// point: large batches are split into per-shard chunks (amortizing one lock
+// and one bulk buffer copy over hundreds of elements), small ones go to a
+// single shard whole. Unlike Add and the sequential Sketch.AddSlice the
+// batch is all-or-nothing: a NaN anywhere rejects the whole batch, reporting
+// its index, and no element is consumed. Safe for concurrent use; elements
+// of concurrent batches interleave freely, which quantile answers are
+// insensitive to.
+func (c *Concurrent) AddBatch(vs []float64) error {
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("quantile: element %d: NaN has no rank and cannot be added", i)
+		}
+	}
+	n := len(vs)
+	if n == 0 {
+		return nil
+	}
+	chunks := (n + concurrentMinChunk - 1) / concurrentMinChunk
+	if chunks > len(c.shards) {
+		chunks = len(c.shards)
+	}
+	per := n / chunks
+	extra := n % chunks
+	pos := 0
+	for i := 0; i < chunks; i++ {
+		sz := per
+		if i < extra {
+			sz++
+		}
+		sh := c.acquire()
+		err := sh.sk.AddBatch(vs[pos : pos+sz])
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		pos += sz
+	}
+	return nil
+}
+
+// snapshots freezes every shard in turn, each under its own lock. The cut is
+// per-shard atomic, not global: elements added concurrently with the loop
+// may or may not be included, which is the usual (and only meaningful)
+// read-during-write contract for a streaming summary.
+func (c *Concurrent) snapshots() []parallel.Snapshot {
+	snaps := make([]parallel.Snapshot, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		snaps[i] = parallel.Snap(sh.sk)
+		sh.mu.Unlock()
+	}
+	return snaps
+}
+
+// QuantilesWithBound answers many quantiles over the union of all shards in
+// one combined OUTPUT pass, returning the estimates parallel to phis and the
+// combined worst-case rank error certified for them (divide by Count for the
+// epsilon it certifies).
+func (c *Concurrent) QuantilesWithBound(phis []float64) (values []float64, errorBound float64, err error) {
+	res, err := parallel.CombineSnapshots(c.snapshots(), phis)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Values, res.ErrorBound, nil
+}
+
+// Quantiles answers many quantiles in one combined pass; the result is
+// parallel to phis.
+func (c *Concurrent) Quantiles(phis []float64) ([]float64, error) {
+	values, _, err := c.QuantilesWithBound(phis)
+	return values, err
+}
+
+// Quantile returns an approximation of the phi-quantile of everything
+// consumed so far, phi in [0, 1].
+func (c *Concurrent) Quantile(phi float64) (float64, error) {
+	vs, err := c.Quantiles([]float64{phi})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return vs[0], nil
+}
+
+// Median returns the 0.5-quantile.
+func (c *Concurrent) Median() (float64, error) { return c.Quantile(0.5) }
+
+// ErrorBound returns the current combined worst-case rank error of any
+// reported quantile, certified by the pooled Lemma 5 accounting of all
+// shards for the collapses that have actually happened.
+func (c *Concurrent) ErrorBound() float64 {
+	return parallel.CombinedBound(c.snapshots())
+}
+
+// Count returns the number of stream elements consumed across all shards.
+func (c *Concurrent) Count() int64 {
+	var total int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += sh.sk.Count()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Min returns the exact minimum consumed so far.
+func (c *Concurrent) Min() (float64, error) { return c.extreme((*core.Sketch).Min, math.Min) }
+
+// Max returns the exact maximum consumed so far.
+func (c *Concurrent) Max() (float64, error) { return c.extreme((*core.Sketch).Max, math.Max) }
+
+func (c *Concurrent) extreme(get func(*core.Sketch) (float64, error), pick func(float64, float64) float64) (float64, error) {
+	best := math.NaN()
+	seen := false
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sh.sk.Count() > 0 {
+			v, err := get(sh.sk)
+			if err != nil {
+				sh.mu.Unlock()
+				return math.NaN(), err
+			}
+			if !seen {
+				best, seen = v, true
+			} else {
+				best = pick(best, v)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if !seen {
+		return math.NaN(), core.ErrEmpty
+	}
+	return best, nil
+}
+
+// Shards returns the number of writer shards.
+func (c *Concurrent) Shards() int { return len(c.shards) }
+
+// MemoryElements returns the total buffer footprint across shards, in
+// elements.
+func (c *Concurrent) MemoryElements() int {
+	total := 0
+	for _, sh := range c.shards {
+		total += sh.sk.MemoryElements()
+	}
+	return total
+}
+
+// Reset discards all consumed data on every shard, keeping the provisioning.
+// Concurrent writers observe either the old or the fresh state per shard;
+// quiesce writers first if an exact cut matters.
+func (c *Concurrent) Reset() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.sk.Reset()
+		sh.mu.Unlock()
+	}
+}
+
+// Seal folds every shard into one live sequential Sketch via the absorb
+// path, e.g. to serialise the combined state with MarshalBinary. The
+// Concurrent sketch itself stays usable and unchanged.
+func (c *Concurrent) Seal() (*Sketch, error) {
+	var out *Sketch
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sh.sk.Count() == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		clone, err := cloneCore(sh.sk)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = &Sketch{cfg: Config{B: clone.B(), K: clone.K(), Policy: c.policy}, det: clone}
+			continue
+		}
+		if err := out.det.Absorb(clone); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		return nil, errors.New("quantile: nothing consumed; nothing to seal")
+	}
+	return out, nil
+}
+
+// cloneCore deep-copies a core sketch through its serialised form.
+func cloneCore(s *core.Sketch) (*core.Sketch, error) {
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	clone := &core.Sketch{}
+	if err := clone.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return clone, nil
+}
+
+// Describe returns a one-line summary of the sharded provisioning.
+func (c *Concurrent) Describe() string {
+	return fmt.Sprintf("concurrent{shards=%d per-shard{%s} mem=%d}",
+		len(c.shards), c.perDesc, c.MemoryElements())
+}

@@ -114,8 +114,8 @@ type Config struct {
 }
 
 // Sketch is a single-pass approximate quantile summary. It is not safe for
-// concurrent use; for parallel ingestion build one Sketch per partition
-// and use Combine.
+// concurrent use; for a shared thread-safe sketch use Concurrent, or build
+// one Sketch per partition and use Combine.
 type Sketch struct {
 	cfg  Config
 	det  *core.Sketch
