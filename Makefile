@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck
+.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck fuzz-smoke
 
 all: build test
 
@@ -25,7 +25,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/
+	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/
+
+# fuzz-smoke gives every fuzz target a short budget; CI runs it after check.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSketchVsExact      -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinary    -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzConcurrentAdd      -fuzztime=$(FUZZTIME) ./quantile/
+	$(GO) test -run='^$$' -fuzz=FuzzSketchBinaryRoundTrip -fuzztime=$(FUZZTIME) ./quantile/
 
 cover:
 	$(GO) test -cover ./...
@@ -55,6 +63,7 @@ examples:
 	$(GO) run ./examples/groupby
 	$(GO) run ./examples/multicolumn
 	$(GO) run ./examples/monitoring
+	$(GO) run ./examples/quantiled
 
 clean:
 	rm -f test_output.txt bench_output.txt

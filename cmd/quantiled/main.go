@@ -1,0 +1,106 @@
+// quantiled is the standalone quantile-serving daemon: named metric
+// streams are ingested over HTTP into concurrent MRL sketches (all-time)
+// and tumbling-window rings (recent), and every served quantile carries the
+// rank-error bound it certifies at that moment. State survives restarts
+// through periodic checkpoints of the sketch wire format.
+//
+//	go run ./cmd/quantiled -addr :8126 -checkpoint /var/lib/quantiled.ckpt
+//
+//	curl -XPOST localhost:8126/ingest -d '{"metric":"lat","values":[12.3,4.5]}'
+//	curl 'localhost:8126/quantile?metric=lat&phi=0.5,0.99'
+//	curl 'localhost:8126/quantile?metric=lat&phi=0.99&window=true'
+//	curl localhost:8126/metricsz
+//
+// See docs/QUANTILED.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io/fs"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mrl/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8126", "listen address")
+		epsilon    = flag.Float64("epsilon", 0.001, "all-time rank-error tolerance per metric")
+		n          = flag.Int64("n", 50_000_000, "all-time stream capacity the guarantee is sized for, per metric")
+		shards     = flag.Int("shards", 0, "writer shards per metric (0 = one per core)")
+		windows    = flag.Int("windows", 5, "tumbling windows kept per metric (0 disables windowed serving)")
+		perWindow  = flag.Int64("per-window", 1_000_000, "per-window capacity")
+		windowEps  = flag.Float64("window-epsilon", 0, "per-window tolerance (0 = epsilon)")
+		rotate     = flag.Duration("rotate-every", time.Minute, "tumble the window rings on this period (0 = only POST /rotate)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file path (empty disables persistence)")
+		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period between checkpoints")
+		metrics    = flag.String("metrics", "", "comma-separated metric names to pre-register")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining requests")
+	)
+	flag.Parse()
+
+	reg, err := serve.NewRegistry(serve.Config{
+		Epsilon:       *epsilon,
+		N:             *n,
+		Shards:        *shards,
+		Windows:       *windows,
+		PerWindow:     *perWindow,
+		WindowEpsilon: *windowEps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *checkpoint != "" {
+		switch err := reg.LoadCheckpoint(*checkpoint); {
+		case err == nil:
+			for _, st := range reg.Status() {
+				log.Printf("restored %q: %d elements", st.Name, st.RestoredCount)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("no checkpoint at %s; starting fresh", *checkpoint)
+		default:
+			log.Fatal(err)
+		}
+	}
+	for _, name := range strings.Split(*metrics, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if err := reg.Ensure(name); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	srv := serve.New(reg, serve.Options{
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckptEvery,
+		RotateEvery:     *rotate,
+		Logf:            log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down (grace %v)", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

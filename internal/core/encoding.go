@@ -10,14 +10,20 @@ import (
 
 // Binary layout (little endian):
 //
-//	magic "MRL1" | policy u8 | flags u8 | b u32 | k u32 | count i64 | min f64 | max f64
+//	magic "MRL2" | policy u8 | flags u8 | b u32 | k u32 | count i64 | min f64 | max f64
 //	stats: leaves, collapses, weightSum, maxCollapseWeight, fallbacks (i64)
-//	nFull u32, then per full buffer: weight i64 | level i32 | k float64
-//	fillLen u32, fillLevel i32, then fillLen float64
+//	nFull u32, then per full buffer: slot u32 | weight i64 | level i32 | k float64
+//	fillSlot u32, fillLen u32, fillLevel i32, then fillLen float64
 //
 // flags bit 0: evenHigh; bit 1: noAlternation; bit 2: fill buffer present.
+//
+// Slots record each buffer's position in the b-slot array. They matter for
+// exact continuation: NEW fills the first empty slot and Munro-Paterson
+// breaks weight ties by slot order, so compacting buffers on restore would
+// send the restored sketch down a different collapse schedule than the
+// original ("MRL1" did exactly that, which is why the magic changed).
 const (
-	encMagic   = "MRL1"
+	encMagic   = "MRL2"
 	flagEven   = 1 << 0
 	flagFrozen = 1 << 1
 	flagFill   = 1 << 2
@@ -59,23 +65,34 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	w(s.stats.Absorbs)
 	w(s.stats.Fallbacks)
 
-	var full []*buffer
+	nFull := 0
 	for _, b := range s.bufs {
 		if b.full {
-			full = append(full, b)
+			nFull++
 		}
 	}
-	w(uint32(len(full)))
-	for _, b := range full {
-		w(b.weight)
-		w(int32(b.level))
-		w(b.data)
+	w(uint32(nFull))
+	for i, b := range s.bufs {
+		if b.full {
+			w(uint32(i))
+			w(b.weight)
+			w(int32(b.level))
+			w(b.data)
+		}
 	}
 	if flags&flagFill != 0 {
+		fillSlot := uint32(0)
+		for i, b := range s.bufs {
+			if b == s.fill {
+				fillSlot = uint32(i)
+			}
+		}
+		w(fillSlot)
 		w(uint32(len(s.fill.data)))
 		w(int32(s.fill.level))
 		w(s.fill.data)
 	} else {
+		w(uint32(0))
 		w(uint32(0))
 		w(int32(0))
 	}
@@ -133,6 +150,17 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if err := rd(p); err != nil {
 			return fmt.Errorf("core: truncated sketch encoding: %w", err)
 		}
+		if *p < 0 {
+			return fmt.Errorf("core: negative collapse statistic %d", *p)
+		}
+	}
+	if restored.count < 0 {
+		return fmt.Errorf("core: negative element count %d", restored.count)
+	}
+	if restored.count > 0 {
+		if math.IsNaN(restored.min) || math.IsNaN(restored.max) || restored.min > restored.max {
+			return fmt.Errorf("core: corrupt extremes min=%v max=%v", restored.min, restored.max)
+		}
 	}
 	var nFull uint32
 	if err := rd(&nFull); err != nil {
@@ -141,8 +169,23 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if nFull > b32 {
 		return fmt.Errorf("core: %d full buffers exceed b=%d", nFull, b32)
 	}
+	if restored.count == 0 && (nFull > 0 || flags&flagFill != 0) {
+		return errors.New("core: buffers encoded for an empty sketch")
+	}
+	prevSlot := -1
 	for i := uint32(0); i < nFull; i++ {
-		buf := restored.bufs[i]
+		var slot uint32
+		if err := rd(&slot); err != nil {
+			return fmt.Errorf("core: truncated sketch encoding: %w", err)
+		}
+		// Slots are written in array order, so they must be strictly
+		// increasing and in range; each full buffer goes back to the exact
+		// position it occupied, which the collapse scheduling depends on.
+		if slot >= b32 || int(slot) <= prevSlot {
+			return fmt.Errorf("core: buffer slot %d out of order (b=%d)", slot, b32)
+		}
+		prevSlot = int(slot)
+		buf := restored.bufs[slot]
 		var level int32
 		if err := rd(&buf.weight); err != nil {
 			return fmt.Errorf("core: truncated sketch encoding: %w", err)
@@ -158,34 +201,59 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if err := rd(buf.data); err != nil {
 			return fmt.Errorf("core: truncated sketch encoding: %w", err)
 		}
-		for _, v := range buf.data {
+		// Buffers are sorted runs of stream elements: every value must lie
+		// within the recorded extremes and the run must be non-decreasing.
+		// Corruption of the float payload is caught here instead of
+		// surfacing later as silently wrong answers.
+		for j, v := range buf.data {
 			if math.IsNaN(v) {
 				return errors.New("core: NaN in encoded buffer")
+			}
+			if v < restored.min || v > restored.max {
+				return fmt.Errorf("core: buffer value %v outside extremes [%v, %v]", v, restored.min, restored.max)
+			}
+			if j > 0 && v < buf.data[j-1] {
+				return errors.New("core: encoded buffer run not sorted")
 			}
 		}
 		buf.full = true
 	}
-	var fillLen uint32
+	var fillSlot, fillLen uint32
 	var fillLevel int32
+	if err := rd(&fillSlot); err != nil {
+		return fmt.Errorf("core: truncated sketch encoding: %w", err)
+	}
 	if err := rd(&fillLen); err != nil {
 		return fmt.Errorf("core: truncated sketch encoding: %w", err)
 	}
 	if err := rd(&fillLevel); err != nil {
 		return fmt.Errorf("core: truncated sketch encoding: %w", err)
 	}
-	if flags&flagFill != 0 {
+	if flags&flagFill == 0 {
+		if fillSlot != 0 || fillLen != 0 || fillLevel != 0 {
+			return errors.New("core: fill buffer fields set without fill flag")
+		}
+	} else {
 		if fillLen == 0 || fillLen >= k32 || nFull >= b32 {
 			return fmt.Errorf("core: invalid fill buffer length %d", fillLen)
 		}
-		fill := restored.bufs[nFull]
+		if fillSlot >= b32 || restored.bufs[fillSlot].full {
+			return fmt.Errorf("core: fill buffer slot %d invalid", fillSlot)
+		}
+		fill := restored.bufs[fillSlot]
 		fill.level = int(fillLevel)
 		fill.data = fill.data[:fillLen]
 		if err := rd(fill.data); err != nil {
 			return fmt.Errorf("core: truncated sketch encoding: %w", err)
 		}
+		// The fill buffer is raw arrival order (sorted only on completion),
+		// so only the range invariant applies here.
 		for _, v := range fill.data {
 			if math.IsNaN(v) {
 				return errors.New("core: NaN in encoded buffer")
+			}
+			if v < restored.min || v > restored.max {
+				return fmt.Errorf("core: fill value %v outside extremes [%v, %v]", v, restored.min, restored.max)
 			}
 		}
 		restored.fill = fill

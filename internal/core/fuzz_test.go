@@ -71,7 +71,8 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	f.Add([]byte("MRL1garbage"))
+	f.Add([]byte("MRL1garbage")) // pre-slot-format magic: must be rejected
+	f.Add([]byte("MRL2garbage"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s Sketch

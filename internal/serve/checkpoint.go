@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mrl/quantile"
+)
+
+// Checkpoint layout (little endian):
+//
+//	magic "MRLD" | version u8 | metricCount u32
+//	per metric (sorted by name):
+//	  nameLen u16 | name | blobCount u32
+//	  per blob: blobLen u32 | blob
+//
+// Each blob is one sealed quantile.Sketch in its MarshalBinary wire format,
+// so a checkpoint is just a named bundle of the library's existing
+// serialised summaries. A metric normally carries one blob (the live shards
+// sealed and merged with any previously restored baseline); it carries more
+// only when a baseline restored from an older checkpoint has a different
+// buffer geometry and cannot be merged — those are kept verbatim and
+// recombined at query time instead.
+const (
+	ckptMagic   = "MRLD"
+	ckptVersion = 1
+	// ckptMaxBlob caps one serialised sketch; real sketches are tens of
+	// kilobytes, so this only rejects corrupt headers early.
+	ckptMaxBlob = 1 << 30
+)
+
+// checkpointSketches collapses the metric's durable state into standalone
+// sketches: the live shards sealed into one summary, with every restored
+// baseline merged in when geometries agree (kept as separate blobs when
+// they do not). The live structures are untouched.
+func (m *metric) checkpointSketches() ([]*quantile.Sketch, error) {
+	restored := m.snapshotRestored()
+	if m.all.Count() == 0 {
+		return restored, nil
+	}
+	sealed, err := m.all.Seal()
+	if err != nil {
+		return nil, fmt.Errorf("serve: sealing %q: %w", m.name, err)
+	}
+	out := []*quantile.Sketch{sealed}
+	for _, r := range restored {
+		if err := sealed.Merge(r); err != nil {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteCheckpoint seals every metric and writes one checkpoint to w.
+// Ingestion may continue concurrently; each metric is cut atomically per
+// shard (the usual read-during-write contract of the sketches).
+func (r *Registry) WriteCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(ckptVersion); err != nil {
+		return err
+	}
+	names := r.Names()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		m := r.get(name)
+		if m == nil {
+			return fmt.Errorf("%w: %q vanished during checkpoint", ErrUnknownMetric, name)
+		}
+		sketches, err := m.checkpointSketches()
+		if err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sketches))); err != nil {
+			return err
+		}
+		for _, s := range sketches {
+			blob, err := s.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("serve: serialising %q: %w", name, err)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(blob))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(blob); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveCheckpoint writes a checkpoint to path atomically: the bytes land in
+// a temporary sibling first and replace the previous checkpoint only via
+// rename, so a crash mid-write never corrupts the last good checkpoint.
+func (r *Registry) SaveCheckpoint(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := r.WriteCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Restore reads a checkpoint and installs each metric's sketches as
+// restored baselines: all-time queries combine them with the live shards
+// from then on. Metrics are created as needed; restoring on top of live
+// data is allowed (the baselines simply add to it). Tumbling windows are
+// deliberately not checkpointed — they describe "recent" data, which a
+// restart makes stale by definition — so restored metrics start with empty
+// rings.
+func (r *Registry) Restore(src io.Reader) error {
+	br := bufio.NewReader(src)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != ckptMagic {
+		return errors.New("serve: bad checkpoint magic")
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("serve: truncated checkpoint: %w", err)
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("serve: unsupported checkpoint version %d", version)
+	}
+	var nMetrics uint32
+	if err := binary.Read(br, binary.LittleEndian, &nMetrics); err != nil {
+		return fmt.Errorf("serve: truncated checkpoint: %w", err)
+	}
+	for i := uint32(0); i < nMetrics; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+		}
+		name := string(nameBytes)
+		var nBlobs uint32
+		if err := binary.Read(br, binary.LittleEndian, &nBlobs); err != nil {
+			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+		}
+		m, err := r.getOrCreate(name)
+		if err != nil {
+			return fmt.Errorf("serve: restoring %q: %w", name, err)
+		}
+		sketches := make([]*quantile.Sketch, 0, nBlobs)
+		for j := uint32(0); j < nBlobs; j++ {
+			var blobLen uint32
+			if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
+				return fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			if blobLen > ckptMaxBlob {
+				return fmt.Errorf("serve: implausible %d-byte sketch in checkpoint", blobLen)
+			}
+			blob := make([]byte, blobLen)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				return fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			s := &quantile.Sketch{}
+			if err := s.UnmarshalBinary(blob); err != nil {
+				return fmt.Errorf("serve: restoring %q: %w", name, err)
+			}
+			sketches = append(sketches, s)
+		}
+		m.resMu.Lock()
+		m.restored = append(m.restored, sketches...)
+		m.resMu.Unlock()
+	}
+	// The format is self-delimiting; trailing garbage means the file was
+	// not produced by WriteCheckpoint.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return errors.New("serve: trailing bytes in checkpoint")
+	}
+	return nil
+}
+
+// LoadCheckpoint restores from the file at path. A missing file is
+// reported via fs.ErrNotExist so callers can treat it as a fresh start.
+func (r *Registry) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Restore(f); err != nil {
+		return fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return nil
+}

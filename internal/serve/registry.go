@@ -1,0 +1,428 @@
+// Package serve is the embeddable HTTP quantile-serving subsystem: a
+// named-metric registry pairing a concurrent all-time sketch
+// (quantile.Concurrent) with a tumbling-window ring (window.Ring) per
+// metric, an HTTP API to ingest values and query quantiles with their live
+// Section 4.9 / Lemma 5 error bounds, and a checkpoint/restore path built
+// on the sketch binary wire format. cmd/quantiled wraps it as a standalone
+// daemon; embedders mount Server.Handler() wherever they already serve HTTP.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mrl/internal/window"
+	"mrl/quantile"
+)
+
+// Typed failures the HTTP layer maps onto status codes; embedders calling
+// the Registry directly can errors.Is against them the same way.
+var (
+	// ErrInvalidMetricName rejects empty, oversized, or control-character
+	// metric names at the registry boundary.
+	ErrInvalidMetricName = errors.New("serve: invalid metric name")
+	// ErrUnknownMetric is returned by queries against a metric that has
+	// never been ingested or registered.
+	ErrUnknownMetric = errors.New("serve: unknown metric")
+	// ErrWindowingDisabled is returned by windowed queries and rotations
+	// when the registry was configured with Windows == 0.
+	ErrWindowingDisabled = errors.New("serve: windowed serving disabled (Config.Windows is 0)")
+	// ErrNaN rejects batches containing NaN before either structure
+	// consumes anything, keeping ingestion all-or-nothing.
+	ErrNaN = errors.New("serve: NaN has no rank and cannot be ingested")
+)
+
+// Config provisions every metric the registry creates; one registry serves
+// many metrics under a single shared accuracy contract.
+type Config struct {
+	// Epsilon is the all-time rank-error tolerance per metric: every served
+	// quantile has rank within Epsilon*N of exact while ingestion stays
+	// within the provisioned capacity (beyond it the served bound keeps
+	// reporting the truth, it just loosens).
+	Epsilon float64
+
+	// N is the per-metric all-time stream capacity the guarantee is sized
+	// for.
+	N int64
+
+	// Shards is the writer-shard count per metric; 0 means one per core.
+	Shards int
+
+	// Windows is the tumbling-window ring length per metric ("last W
+	// windows"); 0 disables windowed serving entirely.
+	Windows int
+
+	// PerWindow is the per-window capacity; required when Windows > 0.
+	PerWindow int64
+
+	// WindowEpsilon is the per-window rank-error tolerance; 0 means
+	// Epsilon.
+	WindowEpsilon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowEpsilon == 0 {
+		c.WindowEpsilon = c.Epsilon
+	}
+	return c
+}
+
+// metric is one named stream: a concurrent all-time sketch, an optional
+// windowed ring, restored checkpoint baselines, and ingest accounting.
+type metric struct {
+	name string
+	all  *quantile.Concurrent
+
+	ingested atomic.Int64 // values accepted through Ingest
+	batches  atomic.Int64 // Ingest calls that touched this metric
+
+	mu   sync.Mutex // guards ring (window.Ring is not concurrency-safe)
+	ring *window.Ring
+
+	resMu    sync.RWMutex // guards restored
+	restored []*quantile.Sketch
+}
+
+func newMetric(name string, cfg Config) (*metric, error) {
+	all, err := quantile.NewConcurrent(quantile.ConcurrentConfig{
+		Epsilon: cfg.Epsilon,
+		N:       cfg.N,
+		Shards:  cfg.Shards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: metric %q: %w", name, err)
+	}
+	m := &metric{name: name, all: all}
+	if cfg.Windows > 0 {
+		ring, err := window.NewRing(cfg.Windows, cfg.WindowEpsilon, cfg.PerWindow)
+		if err != nil {
+			return nil, fmt.Errorf("serve: metric %q: %w", name, err)
+		}
+		m.ring = ring
+	}
+	return m, nil
+}
+
+// Registry maps metric names to their serving state. All methods are safe
+// for concurrent use.
+type Registry struct {
+	cfg     Config
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry validates the shared per-metric contract by provisioning (and
+// discarding) one probe metric, so configuration errors surface at
+// construction instead of on the first request.
+func NewRegistry(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	if _, err := newMetric("probe", cfg); err != nil {
+		return nil, err
+	}
+	return &Registry{cfg: cfg, metrics: make(map[string]*metric)}, nil
+}
+
+func validateMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty", ErrInvalidMetricName)
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("%w: %d bytes exceeds 128", ErrInvalidMetricName, len(name))
+	}
+	for _, r := range name {
+		if r <= ' ' || r == 0x7f {
+			return fmt.Errorf("%w: %q contains whitespace or control characters", ErrInvalidMetricName, name)
+		}
+	}
+	return nil
+}
+
+func (r *Registry) get(name string) *metric {
+	r.mu.RLock()
+	m := r.metrics[name]
+	r.mu.RUnlock()
+	return m
+}
+
+func (r *Registry) getOrCreate(name string) (*metric, error) {
+	if m := r.get(name); m != nil {
+		return m, nil
+	}
+	if err := validateMetricName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.metrics[name]; m != nil {
+		return m, nil
+	}
+	m, err := newMetric(name, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.metrics[name] = m
+	return m, nil
+}
+
+// Ensure registers the metric if it does not exist yet, e.g. to pre-create
+// well-known metrics at boot instead of on first ingest.
+func (r *Registry) Ensure(name string) error {
+	_, err := r.getOrCreate(name)
+	return err
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.metrics)
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Ingest routes one batch of values into the metric's all-time sketch (via
+// the sharded AddBatch fast path) and its current tumbling window. The
+// metric is created on first use. Ingestion is all-or-nothing: a NaN
+// anywhere rejects the whole batch before either structure consumes an
+// element. Empty batches are accepted as no-ops.
+func (r *Registry) Ingest(name string, vs []float64) error {
+	m, err := r.getOrCreate(name)
+	if err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	m.batches.Add(1)
+	if len(vs) == 0 {
+		return nil
+	}
+	if err := m.all.AddBatch(vs); err != nil {
+		return err
+	}
+	if m.ring != nil {
+		m.mu.Lock()
+		for _, v := range vs {
+			if err := m.ring.Add(v); err != nil {
+				m.mu.Unlock()
+				return err
+			}
+		}
+		m.mu.Unlock()
+	}
+	m.ingested.Add(int64(len(vs)))
+	return nil
+}
+
+// Rotate tumbles the named metric's window ring: the current window is
+// closed and a fresh one starts, evicting the oldest once the ring is full.
+func (r *Registry) Rotate(name string) error {
+	m := r.get(name)
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownMetric, name)
+	}
+	if m.ring == nil {
+		return ErrWindowingDisabled
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.Rotate()
+}
+
+// RotateAll tumbles every windowed metric's ring, returning the names it
+// rotated (sorted). Metrics without windowing are skipped.
+func (r *Registry) RotateAll() ([]string, error) {
+	var rotated []string
+	for _, name := range r.Names() {
+		m := r.get(name)
+		if m == nil || m.ring == nil {
+			continue
+		}
+		m.mu.Lock()
+		err := m.ring.Rotate()
+		m.mu.Unlock()
+		if err != nil {
+			return rotated, fmt.Errorf("serve: rotating %q: %w", name, err)
+		}
+		rotated = append(rotated, name)
+	}
+	return rotated, nil
+}
+
+// QueryResult is one answered quantile query together with its runtime
+// certificate.
+type QueryResult struct {
+	// Values holds the quantile estimates, parallel to the requested phis.
+	Values []float64
+	// Count is the number of elements the answers cover.
+	Count int64
+	// ErrorBound is the worst-case rank error of every value, certified by
+	// the combined Lemma 5 accounting for the collapses that actually
+	// happened (all-time: live shards plus restored checkpoints; windowed:
+	// the live windows).
+	ErrorBound float64
+	// Epsilon is ErrorBound normalised by Count — the epsilon this answer
+	// actually certifies at query time.
+	Epsilon float64
+}
+
+// Quantiles answers phis for the named metric: all-time (live shards plus
+// any restored checkpoint baselines) or, with windowed set, over the union
+// of the live tumbling windows.
+func (r *Registry) Quantiles(name string, phis []float64, windowed bool) (QueryResult, error) {
+	m := r.get(name)
+	if m == nil {
+		return QueryResult{}, fmt.Errorf("%w: %q", ErrUnknownMetric, name)
+	}
+	if windowed {
+		return m.queryWindow(phis)
+	}
+	return m.queryAllTime(phis)
+}
+
+func (m *metric) snapshotRestored() []*quantile.Sketch {
+	m.resMu.RLock()
+	defer m.resMu.RUnlock()
+	return append([]*quantile.Sketch(nil), m.restored...)
+}
+
+func (m *metric) queryAllTime(phis []float64) (QueryResult, error) {
+	values, bound, count, err := m.all.CombineWith(m.snapshotRestored(), phis)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return newQueryResult(values, bound, count), nil
+}
+
+func (m *metric) queryWindow(phis []float64) (QueryResult, error) {
+	if m.ring == nil {
+		return QueryResult{}, ErrWindowingDisabled
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	values, bound, err := m.ring.Quantiles(phis)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return newQueryResult(values, bound, m.ring.Count()), nil
+}
+
+func newQueryResult(values []float64, bound float64, count int64) QueryResult {
+	res := QueryResult{Values: values, Count: count, ErrorBound: bound}
+	if count > 0 {
+		res.Epsilon = bound / float64(count)
+	}
+	return res
+}
+
+// WindowStatus is the observability view of one metric's tumbling-window
+// ring.
+type WindowStatus struct {
+	// Live is the number of windows currently holding a slot in the ring
+	// (including the filling one).
+	Live int `json:"live"`
+	// Count is the total elements across the live windows.
+	Count int64 `json:"count"`
+	// MemoryElements is the buffer footprint across the ring, in elements.
+	MemoryElements int64 `json:"memoryElements"`
+	// ErrorBound is the combined rank error the live windows certify now.
+	ErrorBound float64 `json:"errorBound"`
+	// Rotations counts completed window rotations.
+	Rotations int64 `json:"rotations"`
+}
+
+// MetricStatus is the observability view of one metric, as served by
+// GET /metricsz.
+type MetricStatus struct {
+	Name string `json:"name"`
+	// Count is the all-time element count, restored checkpoints included.
+	Count int64 `json:"count"`
+	// RestoredCount is the portion of Count carried by restored
+	// checkpoints rather than live shards.
+	RestoredCount int64 `json:"restoredCount"`
+	// IngestedValues and IngestBatches count what arrived through Ingest
+	// in this process's lifetime (restored data excluded).
+	IngestedValues int64 `json:"ingestedValues"`
+	IngestBatches  int64 `json:"ingestBatches"`
+	// Shards and ShardCounts expose writer-shard occupancy.
+	Shards      int     `json:"shards"`
+	ShardCounts []int64 `json:"shardCounts"`
+	// MemoryElements is the total buffer footprint (shards + restored +
+	// windows), in elements.
+	MemoryElements int64 `json:"memoryElements"`
+	// Collapses, WeightSum and Fallbacks are the pooled collapse counters
+	// across shards (Figure 5 symbols; fallbacks > 0 means the metric was
+	// driven past its provisioned capacity).
+	Collapses int64 `json:"collapses"`
+	WeightSum int64 `json:"weightSum"`
+	Fallbacks int64 `json:"fallbacks"`
+	// ErrorBound is the all-time combined rank error certified right now.
+	ErrorBound float64 `json:"errorBound"`
+	// Window is nil when windowed serving is disabled.
+	Window *WindowStatus `json:"window,omitempty"`
+}
+
+// Status reports every metric's observability view, sorted by name.
+func (r *Registry) Status() []MetricStatus {
+	names := r.Names()
+	out := make([]MetricStatus, 0, len(names))
+	for _, name := range names {
+		if m := r.get(name); m != nil {
+			out = append(out, m.status())
+		}
+	}
+	return out
+}
+
+func (m *metric) status() MetricStatus {
+	restored := m.snapshotRestored()
+	var restoredCount, restoredMem int64
+	for _, s := range restored {
+		restoredCount += s.Count()
+		restoredMem += int64(s.MemoryElements())
+	}
+	st := m.all.Stats()
+	out := MetricStatus{
+		Name:           m.name,
+		Count:          m.all.Count() + restoredCount,
+		RestoredCount:  restoredCount,
+		IngestedValues: m.ingested.Load(),
+		IngestBatches:  m.batches.Load(),
+		Shards:         m.all.Shards(),
+		ShardCounts:    m.all.ShardCounts(),
+		MemoryElements: int64(m.all.MemoryElements()) + restoredMem,
+		Collapses:      st.Collapses,
+		WeightSum:      st.WeightSum,
+		Fallbacks:      st.Fallbacks,
+		ErrorBound:     m.all.BoundWith(restored),
+	}
+	if m.ring != nil {
+		m.mu.Lock()
+		out.Window = &WindowStatus{
+			Live:           m.ring.Windows(),
+			Count:          m.ring.Count(),
+			MemoryElements: m.ring.MemoryElements(),
+			ErrorBound:     m.ring.Bound(),
+			Rotations:      m.ring.Rotations(),
+		}
+		out.MemoryElements += out.Window.MemoryElements
+		m.mu.Unlock()
+	}
+	return out
+}

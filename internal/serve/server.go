@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mrl/quantile"
+)
+
+// maxIngestBody caps one POST /ingest request; 32 MiB is ~2M JSON-encoded
+// values, far beyond any sane batch.
+const maxIngestBody = 32 << 20
+
+// Options configures the HTTP server wrapped around a Registry.
+type Options struct {
+	// CheckpointPath, when set, enables the periodic checkpoint loop and
+	// the final checkpoint written during Shutdown.
+	CheckpointPath string
+	// CheckpointEvery is the period between checkpoints; it defaults to
+	// 30s when CheckpointPath is set.
+	CheckpointEvery time.Duration
+	// RotateEvery, when positive, tumbles every metric's window ring on
+	// this period. Zero leaves rotation to explicit POST /rotate calls.
+	RotateEvery time.Duration
+	// Logf receives one line per lifecycle event (checkpoints, rotation
+	// failures, shutdown); nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP front end: it owns the route table, the background
+// rotation and checkpoint loops, and the graceful-shutdown sequence that
+// drains requests and seals every sketch into a final checkpoint.
+type Server struct {
+	reg   *Registry
+	opt   Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	stop    chan struct{}
+	loops   sync.WaitGroup
+}
+
+// New wraps reg in a Server. No goroutines start until Serve; embedders
+// that only want the routes can mount Handler directly and still call
+// Shutdown for the final checkpoint.
+func New(reg *Registry, opt Options) *Server {
+	if opt.CheckpointPath != "" && opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 30 * time.Second
+	}
+	s := &Server{reg: reg, opt: opt, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
+	s.mux.HandleFunc("POST /rotate", s.handleRotate)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the route table, for mounting under httptest or an
+// embedder's existing server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// logf is Options.Logf or a no-op.
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Serve starts the background loops and serves HTTP on ln until Shutdown.
+// It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return errors.New("serve: server already running")
+	}
+	s.httpSrv = srv
+	s.stop = make(chan struct{})
+	s.startLoops()
+	s.mu.Unlock()
+
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe is Serve on a fresh TCP listener.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("quantiled listening on %s", ln.Addr())
+	return s.Serve(ln)
+}
+
+// startLoops launches the rotation and checkpoint tickers; caller holds
+// s.mu and has set s.stop.
+func (s *Server) startLoops() {
+	stop := s.stop
+	if s.opt.RotateEvery > 0 {
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			t := time.NewTicker(s.opt.RotateEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if rotated, err := s.reg.RotateAll(); err != nil {
+						s.logf("window rotation: %v", err)
+					} else {
+						s.logf("rotated %d window rings", len(rotated))
+					}
+				}
+			}
+		}()
+	}
+	if s.opt.CheckpointPath != "" {
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			t := time.NewTicker(s.opt.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if err := s.reg.SaveCheckpoint(s.opt.CheckpointPath); err != nil {
+						s.logf("checkpoint: %v", err)
+					} else {
+						s.logf("checkpoint written to %s", s.opt.CheckpointPath)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Shutdown drains in-flight requests, stops the background loops, and —
+// with a checkpoint path configured — seals every sketch into one final
+// checkpoint after the last ingest has landed. Safe to call whether or not
+// Serve ever ran.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	stop := s.stop
+	s.httpSrv = nil
+	s.stop = nil
+	s.mu.Unlock()
+
+	var first error
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			first = err
+		}
+	}
+	if stop != nil {
+		close(stop)
+	}
+	s.loops.Wait()
+	if s.opt.CheckpointPath != "" {
+		if err := s.reg.SaveCheckpoint(s.opt.CheckpointPath); err != nil {
+			s.logf("final checkpoint: %v", err)
+			if first == nil {
+				first = err
+			}
+		} else {
+			s.logf("final checkpoint written to %s", s.opt.CheckpointPath)
+		}
+	}
+	return first
+}
+
+// --- handlers ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	// The response writer owns delivery failures; encoding failures cannot
+	// happen for the plain structs served here.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps registry failures onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownMetric), errors.Is(err, quantile.ErrEmpty):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalidMetricName), errors.Is(err, ErrWindowingDisabled), errors.Is(err, ErrNaN):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ingestRequest is one named batch. POST /ingest accepts a single JSON
+// object or any concatenation of them (NDJSON included): the decoder simply
+// consumes objects until the body ends.
+type ingestRequest struct {
+	Metric string    `json:"metric"`
+	Values []float64 `json:"values"`
+}
+
+type ingestResponse struct {
+	// Accepted is the number of values ingested across all objects in the
+	// request body.
+	Accepted int64 `json:"accepted"`
+	// Batches is the number of ingest objects processed.
+	Batches int `json:"batches"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	var resp ingestResponse
+	for {
+		var req ingestRequest
+		err := dec.Decode(&req)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
+			return
+		}
+		if err := s.reg.Ingest(req.Metric, req.Values); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp.Accepted += int64(len(req.Values))
+		resp.Batches++
+	}
+	if resp.Batches == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty ingest body"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type quantileResponse struct {
+	Metric string    `json:"metric"`
+	Window bool      `json:"window"`
+	Phis   []float64 `json:"phis"`
+	Values []float64 `json:"values"`
+	Count  int64     `json:"count"`
+	// ErrorBound is the worst-case rank error of every value (Lemma 5 /
+	// Section 4.9, for the collapses that actually happened); Epsilon is
+	// the same certificate normalised by Count.
+	ErrorBound float64 `json:"errorBound"`
+	Epsilon    float64 `json:"epsilon"`
+}
+
+// parsePhis parses a comma-separated phi list, e.g. "0.5,0.99,0.999".
+func parsePhis(raw string) ([]float64, error) {
+	if raw == "" {
+		return nil, errors.New("serve: missing phi parameter")
+	}
+	parts := strings.Split(raw, ",")
+	phis := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad phi %q: %w", p, err)
+		}
+		if math.IsNaN(phi) || phi < 0 || phi > 1 {
+			return nil, fmt.Errorf("serve: phi %v outside [0,1]", phi)
+		}
+		phis = append(phis, phi)
+	}
+	return phis, nil
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	phis, err := parsePhis(q.Get("phi"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	windowed := false
+	if raw := q.Get("window"); raw != "" {
+		windowed, err = strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad window parameter %q", raw))
+			return
+		}
+	}
+	name := q.Get("metric")
+	res, err := s.reg.Quantiles(name, phis, windowed)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, quantileResponse{
+		Metric:     name,
+		Window:     windowed,
+		Phis:       phis,
+		Values:     res.Values,
+		Count:      res.Count,
+		ErrorBound: res.ErrorBound,
+		Epsilon:    res.Epsilon,
+	})
+}
+
+type rotateResponse struct {
+	Rotated []string `json:"rotated"`
+}
+
+func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("metric"); name != "" {
+		if err := s.reg.Rotate(name); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rotateResponse{Rotated: []string{name}})
+		return
+	}
+	rotated, err := s.reg.RotateAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if rotated == nil {
+		rotated = []string{}
+	}
+	writeJSON(w, http.StatusOK, rotateResponse{Rotated: rotated})
+}
+
+type metricszResponse struct {
+	Metrics []MetricStatus `json:"metrics"`
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricszResponse{Metrics: s.reg.Status()})
+}
+
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	Metrics       int     `json:"metrics"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		Metrics:       s.reg.Len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

@@ -8,7 +8,6 @@
 package window
 
 import (
-	"errors"
 	"fmt"
 
 	"mrl/internal/core"
@@ -19,10 +18,11 @@ import (
 // Ring is a fixed-length ring of tumbling-window sketches. It is not safe
 // for concurrent use.
 type Ring struct {
-	plan    params.Plan
-	windows []*core.Sketch
-	head    int // index of the current (filling) window
-	filled  int // number of windows that have ever been started
+	plan      params.Plan
+	windows   []*core.Sketch
+	head      int   // index of the current (filling) window
+	filled    int   // number of windows that have ever been started
+	rotations int64 // completed Rotate calls
 }
 
 // NewRing returns a ring of `windows` tumbling windows, each provisioned
@@ -67,8 +67,13 @@ func (r *Ring) Rotate() error {
 	if r.filled < len(r.windows) {
 		r.filled++
 	}
+	r.rotations++
 	return nil
 }
+
+// Rotations returns how many Rotate calls have completed over the ring's
+// lifetime (evictions included).
+func (r *Ring) Rotations() int64 { return r.rotations }
 
 // Windows returns how many windows currently hold data (including the
 // filling one).
@@ -106,13 +111,27 @@ func (r *Ring) Quantiles(phis []float64) (values []float64, errorBound float64, 
 		}
 	}
 	if len(live) == 0 {
-		return nil, 0, errors.New("window: no data in any window")
+		return nil, 0, fmt.Errorf("window: no data in any window: %w", core.ErrEmpty)
 	}
 	res, err := parallel.Combine(live, phis)
 	if err != nil {
 		return nil, 0, err
 	}
 	return res.Values, res.ErrorBound, nil
+}
+
+// Bound returns the combined Section 4.9 worst-case rank error (in ranks
+// over Count) the live windows currently certify, without selecting any
+// quantiles. It is exactly the errorBound Quantiles would report now; an
+// empty ring certifies 0.
+func (r *Ring) Bound() float64 {
+	snaps := make([]parallel.Snapshot, 0, len(r.windows))
+	for _, w := range r.windows {
+		if w != nil && w.Count() > 0 {
+			snaps = append(snaps, parallel.Snap(w))
+		}
+	}
+	return parallel.CombinedBound(snaps)
 }
 
 // WindowQuantile answers a quantile over the current window only.

@@ -182,14 +182,17 @@ func (c *Concurrent) Add(v float64) error {
 // of concurrent batches interleave freely, which quantile answers are
 // insensitive to.
 func (c *Concurrent) AddBatch(vs []float64) error {
+	// An empty batch is a complete no-op: return before the NaN scan and
+	// before any shard acquisition, so empty flushes from batching pipelines
+	// never contend with real writers.
+	n := len(vs)
+	if n == 0 {
+		return nil
+	}
 	for i, v := range vs {
 		if math.IsNaN(v) {
 			return fmt.Errorf("quantile: element %d: NaN has no rank and cannot be added", i)
 		}
-	}
-	n := len(vs)
-	if n == 0 {
-		return nil
 	}
 	chunks := (n + concurrentMinChunk - 1) / concurrentMinChunk
 	if chunks > len(c.shards) {
@@ -320,6 +323,97 @@ func (c *Concurrent) MemoryElements() int {
 		total += sh.sk.MemoryElements()
 	}
 	return total
+}
+
+// ShardCounts returns the number of elements each shard currently holds, in
+// shard order — the occupancy view a monitoring surface exposes to judge how
+// balanced routing is. Each count is read under its shard's lock; the slice
+// as a whole is not one atomic cut across shards.
+func (c *Concurrent) ShardCounts() []int64 {
+	counts := make([]int64, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		counts[i] = sh.sk.Count()
+		sh.mu.Unlock()
+	}
+	return counts
+}
+
+// IngestStats is the pooled collapse accounting across all shards, the
+// counters an observability endpoint exposes alongside quantile answers
+// (the paper's Figure 5 symbols, summed over the shard forest).
+type IngestStats struct {
+	// Leaves is L: completely filled weight-1 buffers produced by NEW.
+	Leaves int64
+	// Collapses is C: COLLAPSE operations performed.
+	Collapses int64
+	// WeightSum is W: the sum of the output weights of all collapses.
+	WeightSum int64
+	// MaxCollapseWeight is the largest output weight of any collapse.
+	MaxCollapseWeight int64
+	// Absorbs counts sketch merges folded in via the absorb path.
+	Absorbs int64
+	// Fallbacks counts collapses outside the nominal schedule, i.e. a shard
+	// was driven past the capacity its geometry was sized for.
+	Fallbacks int64
+}
+
+// Stats returns the pooled collapse accounting across all shards.
+func (c *Concurrent) Stats() IngestStats {
+	var out IngestStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st := sh.sk.Stats()
+		sh.mu.Unlock()
+		out.Leaves += st.Leaves
+		out.Collapses += st.Collapses
+		out.WeightSum += st.WeightSum
+		if st.MaxCollapseWeight > out.MaxCollapseWeight {
+			out.MaxCollapseWeight = st.MaxCollapseWeight
+		}
+		out.Absorbs += st.Absorbs
+		out.Fallbacks += st.Fallbacks
+	}
+	return out
+}
+
+// CombineWith answers quantiles over the union of the live shards and the
+// given deterministic sketches — e.g. checkpoints restored with
+// UnmarshalBinary — in one combined Section 4.9 OUTPUT pass, without
+// modifying either side. It returns the estimates parallel to phis, the
+// combined worst-case rank error certified for them, and the total element
+// count the answers cover. Nil extras are skipped; sampled sketches cannot
+// take part (they have no final buffers to combine).
+func (c *Concurrent) CombineWith(extra []*Sketch, phis []float64) (values []float64, errorBound float64, count int64, err error) {
+	snaps := c.snapshots()
+	for _, s := range extra {
+		if s == nil {
+			continue
+		}
+		if s.smp != nil {
+			return nil, 0, 0, errors.New("quantile: sampled sketches cannot be combined")
+		}
+		snaps = append(snaps, parallel.Snap(s.det))
+	}
+	res, err := parallel.CombineSnapshots(snaps, phis)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res.Values, res.ErrorBound, res.Count, nil
+}
+
+// BoundWith evaluates the combined worst-case rank error CombineWith would
+// certify, without selecting any quantiles. Nil and sampled extras are
+// skipped.
+func (c *Concurrent) BoundWith(extra []*Sketch) float64 {
+	snaps := c.snapshots()
+	for _, s := range extra {
+		if s == nil || s.det == nil {
+			continue
+		}
+		snaps = append(snaps, parallel.Snap(s.det))
+	}
+	return parallel.CombinedBound(snaps)
 }
 
 // Reset discards all consumed data on every shard, keeping the provisioning.

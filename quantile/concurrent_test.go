@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mrl/internal/baseline"
 	"mrl/internal/core"
@@ -479,5 +480,150 @@ func TestConcurrentSeal(t *testing.T) {
 	}
 	if _, err := empty.Seal(); err == nil {
 		t.Error("Seal on empty sketch succeeded")
+	}
+}
+
+func TestConcurrentAddBatchEmptyIsNoOpWithoutShards(t *testing.T) {
+	c, err := NewConcurrent(ConcurrentConfig{B: 3, K: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold every shard lock: an empty batch must return immediately anyway,
+	// i.e. it never even tries to acquire a shard.
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+	done := make(chan error, 2)
+	go func() { done <- c.AddBatch(nil) }()
+	go func() { done <- c.AddBatch([]float64{}) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("empty AddBatch blocked on a shard lock")
+		}
+	}
+	for _, sh := range c.shards {
+		sh.mu.Unlock()
+	}
+	if c.Count() != 0 {
+		t.Fatalf("empty batches consumed %d elements", c.Count())
+	}
+}
+
+func TestConcurrentShardCountsAndStats(t *testing.T) {
+	const n = 50_000
+	c, err := NewConcurrent(ConcurrentConfig{Epsilon: 0.01, N: n, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ShardCounts(); len(got) != 4 {
+		t.Fatalf("ShardCounts = %v", got)
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	if err := c.AddBatch(vs); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, sc := range c.ShardCounts() {
+		total += sc
+	}
+	if total != n {
+		t.Fatalf("shard occupancy sums to %d, want %d", total, n)
+	}
+	st := c.Stats()
+	if st.Leaves == 0 || st.Collapses == 0 || st.WeightSum < st.Collapses {
+		t.Fatalf("implausible pooled stats %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("%d fallbacks within provisioned capacity", st.Fallbacks)
+	}
+	// The pooled accounting must reproduce the combined certificate.
+	if bound := c.ErrorBound(); bound <= 0 || bound > 0.01*n {
+		t.Fatalf("bound %v outside (0, eps*N]", bound)
+	}
+}
+
+func TestConcurrentCombineWith(t *testing.T) {
+	const n = 40_000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64((i*7919)%n + 1)
+	}
+	c, err := NewConcurrent(ConcurrentConfig{Epsilon: 0.01, N: n, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBatch(data[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+	// The second half lives in a restored (serialised+deserialised)
+	// sequential sketch, as the checkpoint path produces.
+	side, err := New(Config{Epsilon: 0.01, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := side.AddSlice(data[n/2:]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := side.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Sketch{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	phis := []float64{0.1, 0.5, 0.9}
+	values, bound, count, err := c.CombineWith([]*Sketch{restored, nil}, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("combined count %d, want %d", count, n)
+	}
+	if got := c.BoundWith([]*Sketch{restored, nil}); got != bound {
+		t.Fatalf("BoundWith %v != CombineWith bound %v", got, bound)
+	}
+	for i, phi := range phis {
+		target := math.Ceil(phi * n)
+		if diff := math.Abs(values[i] - target); diff > bound+1 {
+			t.Errorf("phi=%v: %v off by %v > bound %v", phi, values[i], diff, bound)
+		}
+	}
+	// Without extras it matches the plain combined read path.
+	direct, directBound, err := c.QuantilesWithBound(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, nilBound, nilCount, err := c.CombineWith(nil, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilCount != c.Count() || nilBound != directBound {
+		t.Fatalf("CombineWith(nil) accounting %d/%v, want %d/%v", nilCount, nilBound, c.Count(), directBound)
+	}
+	for i := range direct {
+		if direct[i] != viaNil[i] {
+			t.Fatalf("CombineWith(nil) diverges from QuantilesWithBound at %d", i)
+		}
+	}
+	// Sampled sketches cannot take part.
+	smp, err := New(Config{Epsilon: 0.05, N: 10_000_000_000, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smp.Sampled() {
+		t.Skip("sampling plan did not trigger; cannot exercise rejection")
+	}
+	if _, _, _, err := c.CombineWith([]*Sketch{smp}, phis); err == nil {
+		t.Error("sampled extra accepted")
 	}
 }

@@ -1,0 +1,126 @@
+package quantile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSketchBinaryRoundTrip pins the serialisation contract of the public
+// Sketch: MarshalBinary/UnmarshalBinary must round-trip to a sketch with
+// identical answers, accounting, and future behaviour (the restored sketch
+// resumes exactly); re-marshalling must be byte-identical; and corrupted
+// inputs — every strict truncation, plus arbitrary byte flips — must be
+// rejected with an error or, where the flip is semantically undetectable,
+// still yield a sketch that answers without panicking.
+func FuzzSketchBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3), uint8(4), uint16(0))
+	f.Add([]byte("round trip me"), uint8(0), uint8(0), uint16(513))
+	f.Add([]byte{255, 255, 0, 0, 128, 7}, uint8(7), uint8(2), uint16(77))
+	f.Fuzz(func(t *testing.T, raw []byte, bRaw, kRaw uint8, corrupt uint16) {
+		if len(raw) == 0 {
+			return
+		}
+		sk, err := New(Config{
+			B:      2 + int(bRaw)%5,
+			K:      1 + int(kRaw)%8,
+			Policy: Policy(int(bRaw) % 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]float64, 0, len(raw))
+		for i, b := range raw {
+			data = append(data, float64(b)+float64(i%5)/8)
+		}
+		if err := sk.AddSlice(data); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		restored := &Sketch{}
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("round trip rejected its own encoding: %v", err)
+		}
+		phis := []float64{0, 0.25, 0.5, 0.75, 1}
+		sameAnswers := func(stage string) {
+			t.Helper()
+			if sk.Count() != restored.Count() {
+				t.Fatalf("%s: count %d != %d", stage, sk.Count(), restored.Count())
+			}
+			want, err1 := sk.Quantiles(phis)
+			got, err2 := restored.Quantiles(phis)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: quantiles errored: %v / %v", stage, err1, err2)
+			}
+			for i := range phis {
+				if want[i] != got[i] {
+					t.Fatalf("%s: phi=%v: %v != %v", stage, phis[i], want[i], got[i])
+				}
+			}
+			wb, wok := sk.ErrorBound()
+			gb, gok := restored.ErrorBound()
+			if wb != gb || wok != gok {
+				t.Fatalf("%s: bound %v/%v != %v/%v", stage, wb, wok, gb, gok)
+			}
+		}
+		sameAnswers("restored")
+
+		blob2, err := restored.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatal("re-marshal is not byte-identical")
+		}
+
+		// Resume: both sketches must evolve identically past the round trip
+		// (same buffers, same collapse schedule).
+		for i := len(data) - 1; i >= 0; i-- {
+			if err := sk.Add(data[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Add(data[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sameAnswers("resumed")
+
+		// Every strict truncation must be rejected: the format is
+		// self-delimiting with no optional tail.
+		for cut := 0; cut < len(blob); cut++ {
+			if err := new(Sketch).UnmarshalBinary(blob[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes accepted", cut, len(blob))
+			}
+		}
+
+		// An arbitrary byte flip must never panic. The decoder's structural
+		// validation (geometry, sorted runs, extremes, counters) catches
+		// nearly all of them with an error; a flip it cannot distinguish
+		// from a valid sketch must still produce one that answers queries
+		// and re-marshals cleanly.
+		mut := append([]byte(nil), blob...)
+		pos := int(corrupt) % len(mut)
+		mask := byte(corrupt >> 8)
+		if mask == 0 {
+			mask = 0xff
+		}
+		mut[pos] ^= mask
+		ms := &Sketch{}
+		if err := ms.UnmarshalBinary(mut); err == nil {
+			if ms.Count() < 0 {
+				t.Fatal("accepted corrupt payload with negative count")
+			}
+			if ms.Count() > 0 {
+				if _, err := ms.Quantile(0.5); err != nil {
+					t.Fatalf("accepted corrupt payload cannot answer: %v", err)
+				}
+			}
+			if _, err := ms.MarshalBinary(); err != nil {
+				t.Fatalf("accepted corrupt payload cannot re-marshal: %v", err)
+			}
+		}
+	})
+}

@@ -39,6 +39,11 @@ import (
 	"mrl/internal/sampling"
 )
 
+// ErrEmpty is the sentinel returned by queries against a sketch (sequential,
+// concurrent, or windowed) that has consumed no input. Match it with
+// errors.Is; wrappers across the module preserve it.
+var ErrEmpty = core.ErrEmpty
+
 // Policy selects the buffer-collapsing policy. The default, PolicyNew, is
 // the paper's contribution and strictly cheapest in memory; the other two
 // are the antecedents the paper analyses in the same framework, kept for
