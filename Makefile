@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck fuzz-smoke
+.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck fuzz-smoke crashtest
 
 all: build test
 
@@ -25,7 +25,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/
+	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/ ./internal/wal/ ./internal/faultfs/
+
+# crashtest runs the fault-injection harness under the race detector: seeded
+# kill-and-restart lives (ENOSPC, short writes, failed fsyncs, hard crashes)
+# plus the degraded-mode lifecycle.
+crashtest:
+	$(GO) test -race -count=1 -run 'TestCrashRecoveryNoAckedLoss|TestDegradedModeServing|TestCheckpointDurableUnderCrash|TestWALRecoveryRealFS' ./internal/serve/
 
 # fuzz-smoke gives every fuzz target a short budget; CI runs it after check.
 FUZZTIME ?= 10s
@@ -34,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinary    -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzConcurrentAdd      -fuzztime=$(FUZZTIME) ./quantile/
 	$(GO) test -run='^$$' -fuzz=FuzzSketchBinaryRoundTrip -fuzztime=$(FUZZTIME) ./quantile/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay             -fuzztime=$(FUZZTIME) ./internal/wal/
 
 cover:
 	$(GO) test -cover ./...

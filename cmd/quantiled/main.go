@@ -16,9 +16,7 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
-	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -27,6 +25,7 @@ import (
 	"time"
 
 	"mrl/internal/serve"
+	"mrl/internal/wal"
 )
 
 func main() {
@@ -41,10 +40,19 @@ func main() {
 		rotate     = flag.Duration("rotate-every", time.Minute, "tumble the window rings on this period (0 = only POST /rotate)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file path (empty disables persistence)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period between checkpoints")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory (empty disables the WAL)")
+		walSync    = flag.String("wal-sync", "every-batch", "WAL durability policy: every-batch, interval, or off")
+		walEvery   = flag.Duration("wal-sync-every", time.Second, "flush period under -wal-sync=interval")
+		walSegment = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
 		metrics    = flag.String("metrics", "", "comma-separated metric names to pre-register")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining requests")
 	)
 	flag.Parse()
+
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	reg, err := serve.NewRegistry(serve.Config{
 		Epsilon:       *epsilon,
@@ -58,18 +66,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *checkpoint != "" {
-		switch err := reg.LoadCheckpoint(*checkpoint); {
-		case err == nil:
-			for _, st := range reg.Status() {
-				log.Printf("restored %q: %d elements", st.Name, st.RestoredCount)
-			}
-		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("no checkpoint at %s; starting fresh", *checkpoint)
-		default:
-			log.Fatal(err)
-		}
-	}
 	for _, name := range strings.Split(*metrics, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			if err := reg.Ensure(name); err != nil {
@@ -78,12 +74,25 @@ func main() {
 		}
 	}
 
-	srv := serve.New(reg, serve.Options{
+	// New recovers: checkpoint restore, then WAL-suffix replay.
+	srv, err := serve.New(reg, serve.Options{
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *ckptEvery,
 		RotateEvery:     *rotate,
+		WALDir:          *walDir,
+		WALSync:         syncPolicy,
+		WALSyncEvery:    *walEvery,
+		WALSegmentBytes: *walSegment,
 		Logf:            log.Printf,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range reg.Status() {
+		if st.RestoredCount > 0 || st.ReplayedValues > 0 {
+			log.Printf("recovered %q: %d checkpointed + %d replayed elements", st.Name, st.RestoredCount, st.ReplayedValues)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

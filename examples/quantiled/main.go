@@ -35,7 +35,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(reg, serve.Options{CheckpointPath: ckpt})
+	srv, err := serve.New(reg, serve.Options{CheckpointPath: ckpt})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -103,7 +106,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := reg2.LoadCheckpoint(ckpt); err != nil {
+	if _, err := reg2.LoadCheckpoint(ckpt); err != nil {
 		log.Fatal(err)
 	}
 	res, err := reg2.Quantiles("latency_ms", []float64{0.99}, false)

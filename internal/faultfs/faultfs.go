@@ -1,0 +1,99 @@
+// Package faultfs is the filesystem seam under the durability layer: the
+// write-ahead log (internal/wal) and the checkpoint writer (internal/serve)
+// reach the disk only through the small FS interface here, so tests can
+// substitute an in-memory implementation (Mem) that injects ENOSPC, short
+// writes, failed fsyncs, and deterministic crash points — and then "reboot"
+// by discarding everything that was never durably synced.
+//
+// The durability model is the strict POSIX one: file content survives a
+// crash only after File.Sync, and namespace changes (create, rename,
+// remove) survive only after SyncDir on the parent directory. Production
+// code uses OS, which forwards straight to the os package.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// File is the slice of *os.File the durability layer needs: sequential
+// reads, appending writes, fsync, close.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's content to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem operations used by the WAL and checkpoint
+// writers. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens path with os.O_* flags; os.O_CREATE requires the
+	// parent directory to exist.
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durable only after
+	// SyncDir on the parent directory.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks path. Durable only after SyncDir on the parent.
+	Remove(path string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists the names (not paths) of the regular files directly
+	// under dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir makes the directory's namespace changes durable (fsync on
+	// the directory).
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile forwards to os.OpenFile.
+func (OS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Rename forwards to os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove forwards to os.Remove.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// MkdirAll forwards to os.MkdirAll.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir lists the regular files under dir, sorted by name.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir fsyncs the directory itself, making renames and creates under it
+// durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,419 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// ErrCrashed is returned by every operation once a scheduled crash point is
+// reached: the simulated process is dead until Crash (the "reboot") resets
+// the filesystem to its durable state.
+var ErrCrashed = errors.New("faultfs: simulated crash point reached")
+
+// ErrNoSpace is the default error injected by FailWrites, standing in for a
+// full disk.
+var ErrNoSpace = &fs.PathError{Op: "write", Path: "faultfs", Err: syscall.ENOSPC}
+
+// inode is one file's content: the volatile view every handle reads and
+// writes, and the durable snapshot a crash reverts to (established by Sync).
+// All writes in this model are appends (plus truncate-on-create), matching
+// how the WAL and checkpoint writers use the seam.
+type inode struct {
+	data    []byte
+	durable []byte
+	synced  bool
+}
+
+// Mem is an in-memory FS with a crash/durability model and fault injection,
+// for deterministic torture tests of the durability layer. The zero Mem is
+// not usable; call NewMem. All methods are safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	names   map[string]*inode // volatile namespace
+	durable map[string]*inode // namespace as of the last SyncDir per dir
+	dirs    map[string]bool
+
+	ops        int
+	crashAfter int // mutating ops until the crash trips; -1 disabled
+	crashed    bool
+
+	wAfter, wLeft int // write faults: skip wAfter writes, fail wLeft (-1 = all)
+	wErr          error
+	wShort        bool
+	sAfter, sLeft int // sync faults, same scheme
+	sErr          error
+}
+
+// NewMem returns an empty in-memory filesystem with no faults armed.
+func NewMem() *Mem {
+	return &Mem{
+		names:      make(map[string]*inode),
+		durable:    make(map[string]*inode),
+		dirs:       map[string]bool{".": true, "/": true},
+		crashAfter: -1,
+	}
+}
+
+// CrashAfter schedules a crash: after n more successful mutating operations
+// (writes, syncs, creates, renames, removes, dir syncs), every operation
+// fails with ErrCrashed until Crash is called. n = 0 makes the very next
+// mutating operation trip.
+func (m *Mem) CrashAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAfter = n
+}
+
+// FailWrites arms a write fault: after skipping the next `after` writes, the
+// following n writes fail with err (ErrNoSpace when nil). n < 0 keeps
+// failing until ClearFaults. With short set, each failed write persists a
+// prefix of the buffer before reporting the error — a torn write.
+func (m *Mem) FailWrites(after, n int, err error, short bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err == nil {
+		err = ErrNoSpace
+	}
+	m.wAfter, m.wLeft, m.wErr, m.wShort = after, n, err, short
+}
+
+// FailSyncs arms a sync fault: after skipping the next `after` syncs, the
+// following n File.Sync calls fail with err. n < 0 keeps failing until
+// ClearFaults. A failed sync leaves the durable snapshot untouched.
+func (m *Mem) FailSyncs(after, n int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err == nil {
+		err = errors.New("faultfs: injected sync failure")
+	}
+	m.sAfter, m.sLeft, m.sErr = after, n, err
+}
+
+// ClearFaults disarms every injected fault and any pending crash point. It
+// does not resurrect a filesystem that has already crashed; call Crash for
+// the reboot.
+func (m *Mem) ClearFaults() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wLeft, m.sLeft = 0, 0
+	m.crashAfter = -1
+}
+
+// Ops returns the number of mutating operations performed so far, the
+// coordinate system CrashAfter points into.
+func (m *Mem) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crash reboots the filesystem: only durably-named files survive, each with
+// exactly its last synced content. Open handles held across a crash keep
+// failing; reopen through the FS.
+func (m *Mem) Crash() { m.crash(nil) }
+
+// CrashPartial is Crash where, additionally, a random prefix of each
+// surviving file's unsynced tail makes it to disk — modelling the pages the
+// kernel happened to flush before power was lost. This is what makes torn
+// WAL tails reachable: a frame written but not yet fsynced can survive in
+// full, in part, or not at all.
+func (m *Mem) CrashPartial(rng *rand.Rand) { m.crash(rng) }
+
+func (m *Mem) crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.crashAfter = -1
+	m.wLeft, m.sLeft = 0, 0
+	names := make(map[string]*inode, len(m.durable))
+	for path, node := range m.durable {
+		var base []byte
+		if node.synced {
+			base = append([]byte(nil), node.durable...)
+		}
+		if rng != nil && len(node.data) > len(base) && bytes.HasPrefix(node.data, base) {
+			extra := rng.Intn(len(node.data) - len(base) + 1)
+			base = append(base, node.data[len(base):len(base)+extra]...)
+		}
+		fresh := &inode{data: base, durable: append([]byte(nil), base...), synced: true}
+		names[path] = fresh
+		m.durable[path] = fresh
+	}
+	m.names = names
+}
+
+// step charges one mutating operation against the crash budget. Caller
+// holds m.mu.
+func (m *Mem) step() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	if m.crashAfter == 0 {
+		m.crashed = true
+		return ErrCrashed
+	}
+	if m.crashAfter > 0 {
+		m.crashAfter--
+	}
+	m.ops++
+	return nil
+}
+
+// memHandle is one open file descriptor.
+type memHandle struct {
+	m        *Mem
+	node     *inode
+	path     string
+	pos      int
+	writable bool
+	closed   bool
+}
+
+// OpenFile implements FS. O_CREATE requires the parent directory to exist,
+// like the real thing; O_TRUNC discards the volatile content but not the
+// durable snapshot (truncation is a namespace-content change that a crash
+// can still undo).
+func (m *Mem) OpenFile(path string, flag int, _ fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	path = filepath.Clean(path)
+	node, exists := m.names[path]
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	switch {
+	case exists && flag&os.O_EXCL != 0:
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrExist}
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	case !exists:
+		if !m.dirs[filepath.Dir(path)] {
+			return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+		}
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+		node = &inode{}
+		m.names[path] = node
+	case flag&os.O_TRUNC != 0:
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+		node.data = nil
+	}
+	return &memHandle{m: m, node: node, path: path, writable: writable}, nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.m.crashed {
+		return 0, ErrCrashed
+	}
+	if h.pos >= len(h.node.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.path, Err: fs.ErrPermission}
+	}
+	if err := m.step(); err != nil {
+		return 0, err
+	}
+	if m.wAfter > 0 {
+		m.wAfter--
+	} else if m.wLeft != 0 {
+		if m.wLeft > 0 {
+			m.wLeft--
+		}
+		if m.wShort && len(p) > 1 {
+			n := len(p) / 2
+			h.node.data = append(h.node.data, p[:n]...)
+			return n, m.wErr
+		}
+		return 0, m.wErr
+	}
+	h.node.data = append(h.node.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if err := m.step(); err != nil {
+		return err
+	}
+	if m.sAfter > 0 {
+		m.sAfter--
+	} else if m.sLeft != 0 {
+		if m.sLeft > 0 {
+			m.sLeft--
+		}
+		return m.sErr
+	}
+	h.node.durable = append([]byte(nil), h.node.data...)
+	h.node.synced = true
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.path }
+
+// Rename implements FS; durable only after SyncDir on the parent.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	node, ok := m.names[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	if err := m.step(); err != nil {
+		return err
+	}
+	delete(m.names, oldpath)
+	m.names[newpath] = node
+	return nil
+}
+
+// Remove implements FS; durable only after SyncDir on the parent.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	if _, ok := m.names[path]; !ok {
+		return &fs.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	if err := m.step(); err != nil {
+		return err
+	}
+	delete(m.names, path)
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is treated as durable
+// immediately — the interesting crash surface is file content and dir
+// entries, not mkdir.
+func (m *Mem) MkdirAll(path string, _ fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	for p := filepath.Clean(path); !m.dirs[p]; p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for path := range m.names {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: every pending create, rename, and remove directly
+// under dir becomes durable.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	for path, node := range m.names {
+		if filepath.Dir(path) == dir {
+			m.durable[path] = node
+		}
+	}
+	for path := range m.durable {
+		if filepath.Dir(path) == dir {
+			if _, ok := m.names[path]; !ok {
+				delete(m.durable, path)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFile returns the current volatile content of path, a test
+// convenience.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.names[filepath.Clean(path)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: path, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), node.data...), nil
+}
+
+// WriteFile replaces path's volatile AND durable content in one step,
+// bypassing fault injection — a test convenience for planting corrupt
+// files that "survived" a crash.
+func (m *Mem) WriteFile(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	for p := filepath.Dir(path); !m.dirs[p]; p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	node := &inode{
+		data:    append([]byte(nil), data...),
+		durable: append([]byte(nil), data...),
+		synced:  true,
+	}
+	m.names[path] = node
+	m.durable[path] = node
+}

@@ -1,0 +1,234 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func create(t *testing.T, m *Mem, path string) File {
+	t.Helper()
+	f, err := m.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readAll(t *testing.T, m *Mem, path string) []byte {
+	t.Helper()
+	f, err := m.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	blob, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// A file survives a crash only when both its content (Sync) and its name
+// (SyncDir) were made durable; anything less vanishes or reverts.
+func TestMemDurabilityModel(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fully durable.
+	f := create(t, m, "/d/durable")
+	f.Write([]byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Created + written + synced after the dir sync: the name was never
+	// made durable, so the file does not survive.
+	f = create(t, m, "/d/unsynced-name")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+
+	// Durable name, then more content written without a second sync.
+	f, err := m.OpenFile("/d/durable", os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" world"))
+	f.Close()
+
+	m.Crash()
+
+	if _, err := m.OpenFile("/d/unsynced-name", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("file with unsynced name survived the crash: %v", err)
+	}
+	if got := readAll(t, m, "/d/durable"); string(got) != "hello" {
+		t.Errorf("durable file content = %q, want synced snapshot %q", got, "hello")
+	}
+}
+
+func TestMemCrashPartialKeepsPrefixOfUnsyncedTail(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d", 0o755)
+	f := create(t, m, "/d/f")
+	f.Write([]byte("AAAA"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("/d")
+	f, _ = m.OpenFile("/d/f", os.O_WRONLY, 0)
+	f.Write([]byte("BBBB")) // never synced
+	f.Close()
+
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		// Re-plant the same state each round.
+		m.WriteFile("/d/f", []byte("AAAA"))
+		g, _ := m.OpenFile("/d/f", os.O_WRONLY, 0)
+		g.Write([]byte("BBBB"))
+		g.Close()
+		m.CrashPartial(rand.New(rand.NewSource(seed)))
+		got := readAll(t, m, "/d/f")
+		if string(got[:4]) != "AAAA" {
+			t.Fatalf("synced prefix lost: %q", got)
+		}
+		if len(got) > 8 {
+			t.Fatalf("content grew: %q", got)
+		}
+		seen[len(got)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("CrashPartial never varied the surviving tail: lengths %v", seen)
+	}
+}
+
+func TestMemRenameDurability(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d", 0o755)
+	f := create(t, m, "/d/ckpt.tmp")
+	f.Write([]byte("v2"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("/d")
+
+	// Rename without dir sync: crash reverts to the old name.
+	if err := m.Rename("/d/ckpt.tmp", "/d/ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.OpenFile("/d/ckpt", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("un-dir-synced rename survived crash: %v", err)
+	}
+	if got := readAll(t, m, "/d/ckpt.tmp"); string(got) != "v2" {
+		t.Errorf("old name content = %q", got)
+	}
+
+	// Rename + dir sync: the new name survives.
+	if err := m.Rename("/d/ckpt.tmp", "/d/ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got := readAll(t, m, "/d/ckpt"); string(got) != "v2" {
+		t.Errorf("renamed content = %q", got)
+	}
+	if _, err := m.OpenFile("/d/ckpt.tmp", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("old name survived a durable rename: %v", err)
+	}
+}
+
+func TestMemInjection(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d", 0o755)
+	f := create(t, m, "/d/f")
+
+	m.FailWrites(1, 1, nil, false) // skip one write, fail the next with ENOSPC
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("fails")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("injected write error = %v", err)
+	}
+	if _, err := f.Write([]byte("!")); err != nil {
+		t.Fatalf("fault did not clear after n failures: %v", err)
+	}
+
+	m.FailWrites(0, 1, nil, true) // short write: half persists
+	n, err := f.Write([]byte("abcdef"))
+	if err == nil || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if got := readAll(t, m, "/d/f"); string(got) != "ok!abc" {
+		t.Fatalf("volatile content = %q", got)
+	}
+
+	m.FailSyncs(0, -1, nil) // persistent sync failure
+	if err := f.Sync(); err == nil {
+		t.Fatal("injected sync failure did not fire")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("persistent sync failure cleared itself")
+	}
+	m.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after ClearFaults: %v", err)
+	}
+	// The failed syncs left no durable snapshot behind; only the final
+	// successful one counts.
+	m.SyncDir("/d")
+	m.Crash()
+	if got := readAll(t, m, "/d/f"); string(got) != "ok!abc" {
+		t.Fatalf("post-crash content = %q", got)
+	}
+}
+
+func TestMemCrashPoint(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d", 0o755)
+	f := create(t, m, "/d/f")
+	m.CrashAfter(2)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash point did not trip: %v", err)
+	}
+	if _, err := m.OpenFile("/d/g", os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("operations after crash must keep failing: %v", err)
+	}
+	m.Crash()
+	if _, err := m.ReadDir("/d"); err != nil {
+		t.Fatalf("filesystem unusable after reboot: %v", err)
+	}
+}
+
+func TestMemReadDirSorted(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/w", 0o755)
+	for _, name := range []string{"/w/c", "/w/a", "/w/b"} {
+		create(t, m, name).Close()
+	}
+	names, err := m.ReadDir("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if _, err := m.ReadDir("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,15 +10,21 @@ import (
 	"os"
 	"path/filepath"
 
+	"mrl/internal/faultfs"
 	"mrl/quantile"
 )
 
 // Checkpoint layout (little endian):
 //
-//	magic "MRLD" | version u8 | metricCount u32
+//	magic "MRLD" | version u8 | walSeq u64 | metricCount u32
 //	per metric (sorted by name):
 //	  nameLen u16 | name | blobCount u32
 //	  per blob: blobLen u32 | blob
+//
+// walSeq is the write-ahead-log position the checkpoint covers: every WAL
+// record with sequence number <= walSeq is already folded into the sketches
+// below, so recovery replays only the suffix. Version 1 checkpoints (no
+// walSeq field) are still readable and cover position 0.
 //
 // Each blob is one sealed quantile.Sketch in its MarshalBinary wire format,
 // so a checkpoint is just a named bundle of the library's existing
@@ -28,7 +35,7 @@ import (
 // recombined at query time instead.
 const (
 	ckptMagic   = "MRLD"
-	ckptVersion = 1
+	ckptVersion = 2
 	// ckptMaxBlob caps one serialised sketch; real sketches are tens of
 	// kilobytes, so this only rejects corrupt headers early.
 	ckptMaxBlob = 1 << 30
@@ -56,15 +63,21 @@ func (m *metric) checkpointSketches() ([]*quantile.Sketch, error) {
 	return out, nil
 }
 
-// WriteCheckpoint seals every metric and writes one checkpoint to w.
+// WriteCheckpoint seals every metric and writes one checkpoint to w,
+// covering WAL position walSeq (0 for registries without a log).
 // Ingestion may continue concurrently; each metric is cut atomically per
-// shard (the usual read-during-write contract of the sketches).
-func (r *Registry) WriteCheckpoint(w io.Writer) error {
+// shard (the usual read-during-write contract of the sketches). Callers
+// that need the cut to be exact against walSeq must stop ingestion around
+// the call — Server does, via its ingest gate.
+func (r *Registry) WriteCheckpoint(w io.Writer, walSeq uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ckptMagic); err != nil {
 		return err
 	}
 	if err := bw.WriteByte(ckptVersion); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, walSeq); err != nil {
 		return err
 	}
 	names := r.Names()
@@ -105,83 +118,134 @@ func (r *Registry) WriteCheckpoint(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveCheckpoint writes a checkpoint to path atomically: the bytes land in
-// a temporary sibling first and replace the previous checkpoint only via
-// rename, so a crash mid-write never corrupts the last good checkpoint.
-func (r *Registry) SaveCheckpoint(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+// encodeCheckpoint renders the checkpoint into memory. The encoding is the
+// snapshot: once it returns, the sketches may keep moving without affecting
+// what will land on disk.
+func (r *Registry) encodeCheckpoint(walSeq uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteCheckpoint(&buf, walSeq); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeCheckpointFile lands data at path atomically and durably: temp
+// sibling, fsync the file, rename over the target, fsync the directory.
+// Skipping any of those syncs leaves a window where a crash forgets the
+// checkpoint (unsynced content) or the rename itself (unsynced dir entry).
+func writeCheckpointFile(fsys faultfs.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := r.WriteCheckpoint(tmp); err != nil {
-		tmp.Close()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := tmp.Close(); err != nil {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// SaveCheckpointFS encodes a checkpoint covering walSeq and writes it to
+// path atomically through fsys (nil means the real filesystem).
+func (r *Registry) SaveCheckpointFS(fsys faultfs.FS, path string, walSeq uint64) error {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	data, err := r.encodeCheckpoint(walSeq)
+	if err != nil {
+		return err
+	}
+	return writeCheckpointFile(fsys, path, data)
+}
+
+// SaveCheckpoint writes a checkpoint to path atomically, covering no WAL
+// (position 0). A crash mid-write never corrupts the last good checkpoint.
+func (r *Registry) SaveCheckpoint(path string) error {
+	return r.SaveCheckpointFS(nil, path, 0)
 }
 
 // Restore reads a checkpoint and installs each metric's sketches as
 // restored baselines: all-time queries combine them with the live shards
-// from then on. Metrics are created as needed; restoring on top of live
-// data is allowed (the baselines simply add to it). Tumbling windows are
-// deliberately not checkpointed — they describe "recent" data, which a
-// restart makes stale by definition — so restored metrics start with empty
-// rings.
-func (r *Registry) Restore(src io.Reader) error {
+// from then on. It returns the WAL position the checkpoint covers, so the
+// caller can replay only the log suffix. Metrics are created as needed;
+// restoring on top of live data is allowed (the baselines simply add to
+// it). Tumbling windows are deliberately not checkpointed — they describe
+// "recent" data, which a restart makes stale by definition — so restored
+// metrics start with empty rings.
+func (r *Registry) Restore(src io.Reader) (uint64, error) {
 	br := bufio.NewReader(src)
 	magic := make([]byte, len(ckptMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != ckptMagic {
-		return errors.New("serve: bad checkpoint magic")
+		return 0, errors.New("serve: bad checkpoint magic")
 	}
 	version, err := br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("serve: truncated checkpoint: %w", err)
+		return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 	}
-	if version != ckptVersion {
-		return fmt.Errorf("serve: unsupported checkpoint version %d", version)
+	var walSeq uint64
+	switch version {
+	case 1:
+		// Pre-WAL format: no position field, covers nothing.
+	case ckptVersion:
+		if err := binary.Read(br, binary.LittleEndian, &walSeq); err != nil {
+			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+		}
+	default:
+		return 0, fmt.Errorf("serve: unsupported checkpoint version %d", version)
 	}
 	var nMetrics uint32
 	if err := binary.Read(br, binary.LittleEndian, &nMetrics); err != nil {
-		return fmt.Errorf("serve: truncated checkpoint: %w", err)
+		return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 	}
 	for i := uint32(0); i < nMetrics; i++ {
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
 		nameBytes := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
 		name := string(nameBytes)
 		var nBlobs uint32
 		if err := binary.Read(br, binary.LittleEndian, &nBlobs); err != nil {
-			return fmt.Errorf("serve: truncated checkpoint: %w", err)
+			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
 		m, err := r.getOrCreate(name)
 		if err != nil {
-			return fmt.Errorf("serve: restoring %q: %w", name, err)
+			return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
 		}
 		sketches := make([]*quantile.Sketch, 0, nBlobs)
 		for j := uint32(0); j < nBlobs; j++ {
 			var blobLen uint32
 			if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
-				return fmt.Errorf("serve: truncated checkpoint: %w", err)
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 			}
 			if blobLen > ckptMaxBlob {
-				return fmt.Errorf("serve: implausible %d-byte sketch in checkpoint", blobLen)
+				return 0, fmt.Errorf("serve: implausible %d-byte sketch in checkpoint", blobLen)
 			}
 			blob := make([]byte, blobLen)
 			if _, err := io.ReadFull(br, blob); err != nil {
-				return fmt.Errorf("serve: truncated checkpoint: %w", err)
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 			}
 			s := &quantile.Sketch{}
 			if err := s.UnmarshalBinary(blob); err != nil {
-				return fmt.Errorf("serve: restoring %q: %w", name, err)
+				return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
 			}
 			sketches = append(sketches, s)
 		}
@@ -192,21 +256,32 @@ func (r *Registry) Restore(src io.Reader) error {
 	// The format is self-delimiting; trailing garbage means the file was
 	// not produced by WriteCheckpoint.
 	if _, err := br.ReadByte(); err != io.EOF {
-		return errors.New("serve: trailing bytes in checkpoint")
+		return 0, errors.New("serve: trailing bytes in checkpoint")
 	}
-	return nil
+	return walSeq, nil
 }
 
-// LoadCheckpoint restores from the file at path. A missing file is
-// reported via fs.ErrNotExist so callers can treat it as a fresh start.
-func (r *Registry) LoadCheckpoint(path string) error {
-	f, err := os.Open(path)
+// LoadCheckpointFS restores from the file at path through fsys (nil means
+// the real filesystem), returning the WAL position the checkpoint covers.
+// A missing file is reported via fs.ErrNotExist so callers can treat it as
+// a fresh start.
+func (r *Registry) LoadCheckpointFS(fsys faultfs.FS, path string) (uint64, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	if err := r.Restore(f); err != nil {
-		return fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	walSeq, err := r.Restore(f)
+	if err != nil {
+		return 0, fmt.Errorf("serve: checkpoint %s: %w", path, err)
 	}
-	return nil
+	return walSeq, nil
+}
+
+// LoadCheckpoint is LoadCheckpointFS on the real filesystem.
+func (r *Registry) LoadCheckpoint(path string) (uint64, error) {
+	return r.LoadCheckpointFS(nil, path)
 }

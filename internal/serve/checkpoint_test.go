@@ -25,7 +25,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := reg.WriteCheckpoint(&buf); err != nil {
+	if err := reg.WriteCheckpoint(&buf, 42); err != nil {
 		t.Fatal(err)
 	}
 
@@ -33,8 +33,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+	walSeq, err := restored.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if walSeq != 42 {
+		t.Fatalf("restored walSeq %d, want 42", walSeq)
 	}
 	if got := restored.Names(); len(got) != 2 {
 		t.Fatalf("restored metrics %v", got)
@@ -72,7 +76,7 @@ func TestCheckpointMergesBaselines(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first bytes.Buffer
-	if err := gen1.WriteCheckpoint(&first); err != nil {
+	if err := gen1.WriteCheckpoint(&first, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,14 +84,14 @@ func TestCheckpointMergesBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gen2.Restore(bytes.NewReader(first.Bytes())); err != nil {
+	if _, err := gen2.Restore(bytes.NewReader(first.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	if err := gen2.Ingest("m", data[6000:]); err != nil {
 		t.Fatal(err)
 	}
 	var second bytes.Buffer
-	if err := gen2.WriteCheckpoint(&second); err != nil {
+	if err := gen2.WriteCheckpoint(&second, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -95,7 +99,7 @@ func TestCheckpointMergesBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := gen3.Restore(bytes.NewReader(second.Bytes())); err != nil {
+	if _, err := gen3.Restore(bytes.NewReader(second.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	m := gen3.get("m")
@@ -126,7 +130,7 @@ func TestCheckpointCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := reg.WriteCheckpoint(&buf); err != nil {
+	if err := reg.WriteCheckpoint(&buf, 42); err != nil {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
@@ -138,21 +142,21 @@ func TestCheckpointCorruptionDetected(t *testing.T) {
 		}
 		return r
 	}
-	if err := fresh().Restore(bytes.NewReader([]byte("XXXX"))); err == nil {
+	if _, err := fresh().Restore(bytes.NewReader([]byte("XXXX"))); err == nil {
 		t.Error("bad magic accepted")
 	}
 	for _, cut := range []int{0, 3, 5, len(blob) / 2, len(blob) - 1} {
-		if err := fresh().Restore(bytes.NewReader(blob[:cut])); err == nil {
+		if _, err := fresh().Restore(bytes.NewReader(blob[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
-	if err := fresh().Restore(bytes.NewReader(append(append([]byte(nil), blob...), 0))); err == nil {
+	if _, err := fresh().Restore(bytes.NewReader(append(append([]byte(nil), blob...), 0))); err == nil {
 		t.Error("trailing bytes accepted")
 	}
 	// Version bump must be rejected, not misparsed.
 	bad := append([]byte(nil), blob...)
 	bad[4] = ckptVersion + 1
-	if err := fresh().Restore(bytes.NewReader(bad)); err == nil {
+	if _, err := fresh().Restore(bytes.NewReader(bad)); err == nil {
 		t.Error("future version accepted")
 	}
 }
@@ -164,7 +168,7 @@ func TestSaveCheckpointAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.LoadCheckpoint(path); !errors.Is(err, fs.ErrNotExist) {
+	if _, err := reg.LoadCheckpoint(path); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("missing checkpoint: %v", err)
 	}
 	if err := reg.Ingest("m", permutation(1000)); err != nil {
@@ -187,7 +191,7 @@ func TestSaveCheckpointAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := other.LoadCheckpoint(path); err != nil {
+	if _, err := other.LoadCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
 	if res, err := other.Quantiles("m", []float64{0.5}, false); err != nil || res.Count != 1000 {

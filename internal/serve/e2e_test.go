@@ -106,6 +106,15 @@ func ingestBody(metric string, vs []float64) string {
 	return string(blob)
 }
 
+func mustNew(t *testing.T, reg *Registry, opt Options) *Server {
+	t.Helper()
+	srv, err := New(reg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // TestEndToEndConcurrentIngestWithinBound is the headline suite: a known
 // stream is ingested through the HTTP API by concurrent clients (mixed
 // single-object and NDJSON bodies) while probe clients hammer the read
@@ -123,7 +132,7 @@ func TestEndToEndConcurrentIngestWithinBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	ts := httptest.NewServer(mustNew(t, reg, Options{}).Handler())
 	defer ts.Close()
 
 	data := permutation(n)
@@ -272,7 +281,7 @@ func TestEndToEndWindowRotationOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	ts := httptest.NewServer(mustNew(t, reg, Options{}).Handler())
 	defer ts.Close()
 
 	batch := func(base float64) []float64 {
@@ -334,7 +343,7 @@ func TestEndToEndCheckpointRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := New(reg1, Options{CheckpointPath: path})
+	srv1 := mustNew(t, reg1, Options{CheckpointPath: path})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -357,10 +366,10 @@ func TestEndToEndCheckpointRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg2.LoadCheckpoint(path); err != nil {
+	if _, err := reg2.LoadCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg2, Options{}).Handler())
+	ts := httptest.NewServer(mustNew(t, reg2, Options{}).Handler())
 	defer ts.Close()
 	mustIngest(t, ts.URL, ingestBody("lat", data[half:]))
 
@@ -394,7 +403,7 @@ func TestEndToEndCheckpointRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg3.LoadCheckpoint(path); err != nil {
+	if _, err := reg3.LoadCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
 	res, err := reg3.Quantiles("lat", phis, false)
@@ -416,7 +425,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 	if err := reg.Ensure("empty"); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	ts := httptest.NewServer(mustNew(t, reg, Options{}).Handler())
 	defer ts.Close()
 
 	get := func(path string) int {

@@ -79,6 +79,7 @@ type metric struct {
 
 	ingested atomic.Int64 // values accepted through Ingest
 	batches  atomic.Int64 // Ingest calls that touched this metric
+	replayed atomic.Int64 // values re-applied from the WAL at recovery
 
 	mu   sync.Mutex // guards ring (window.Ring is not concurrency-safe)
 	ring *window.Ring
@@ -230,6 +231,49 @@ func (r *Registry) Ingest(name string, vs []float64) error {
 	return nil
 }
 
+// ValidateIngest checks a batch without mutating anything: the metric name
+// must be acceptable and the values free of NaN. The WAL-backed ingest path
+// runs it before appending to the log, so a batch that can never be applied
+// is never made durable either.
+func (r *Registry) ValidateIngest(name string, vs []float64) error {
+	if m := r.get(name); m == nil {
+		if err := validateMetricName(name); err != nil {
+			return err
+		}
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	return nil
+}
+
+// ApplyReplay folds one recovered WAL batch into the metric's all-time
+// sketch. Unlike Ingest it bypasses the tumbling window — windows describe
+// "recent" data, which a restart makes stale by definition — and counts the
+// values as replayed rather than ingested, so observability can tell
+// recovered history from this process's own traffic.
+func (r *Registry) ApplyReplay(name string, vs []float64) error {
+	m, err := r.getOrCreate(name)
+	if err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	if err := m.all.AddBatch(vs); err != nil {
+		return err
+	}
+	m.replayed.Add(int64(len(vs)))
+	return nil
+}
+
 // Rotate tumbles the named metric's window ring: the current window is
 // closed and a fresh one starts, evicting the oldest once the ring is full.
 func (r *Registry) Rotate(name string) error {
@@ -360,6 +404,9 @@ type MetricStatus struct {
 	// in this process's lifetime (restored data excluded).
 	IngestedValues int64 `json:"ingestedValues"`
 	IngestBatches  int64 `json:"ingestBatches"`
+	// ReplayedValues counts values re-applied from the write-ahead log at
+	// recovery — acked by a previous process, re-ingested by this one.
+	ReplayedValues int64 `json:"replayedValues"`
 	// Shards and ShardCounts expose writer-shard occupancy.
 	Shards      int     `json:"shards"`
 	ShardCounts []int64 `json:"shardCounts"`
@@ -404,6 +451,7 @@ func (m *metric) status() MetricStatus {
 		RestoredCount:  restoredCount,
 		IngestedValues: m.ingested.Load(),
 		IngestBatches:  m.batches.Load(),
+		ReplayedValues: m.replayed.Load(),
 		Shards:         m.all.Shards(),
 		ShardCounts:    m.all.ShardCounts(),
 		MemoryElements: int64(m.all.MemoryElements()) + restoredMem,

@@ -14,17 +14,19 @@ import (
 	"sync"
 	"time"
 
+	"mrl/internal/faultfs"
+	"mrl/internal/wal"
 	"mrl/quantile"
 )
 
-// maxIngestBody caps one POST /ingest request; 32 MiB is ~2M JSON-encoded
-// values, far beyond any sane batch.
-const maxIngestBody = 32 << 20
+// defaultMaxIngestBody caps one POST /ingest request; 32 MiB is ~2M
+// JSON-encoded values, far beyond any sane batch.
+const defaultMaxIngestBody = 32 << 20
 
 // Options configures the HTTP server wrapped around a Registry.
 type Options struct {
 	// CheckpointPath, when set, enables the periodic checkpoint loop and
-	// the final checkpoint written during Shutdown.
+	// the final checkpoint written during Shutdown. New restores from it.
 	CheckpointPath string
 	// CheckpointEvery is the period between checkpoints; it defaults to
 	// 30s when CheckpointPath is set.
@@ -32,19 +34,85 @@ type Options struct {
 	// RotateEvery, when positive, tumbles every metric's window ring on
 	// this period. Zero leaves rotation to explicit POST /rotate calls.
 	RotateEvery time.Duration
+
+	// WALDir, when set, write-ahead-logs every ingest batch before it is
+	// applied, and New replays the suffix the checkpoint does not cover.
+	WALDir string
+	// WALSync is the log's durability policy (every-batch, interval, off).
+	WALSync wal.SyncPolicy
+	// WALSyncEvery is the flush period under WALSync == SyncInterval and
+	// the heartbeat of the WAL health probe; it defaults to 1s.
+	WALSyncEvery time.Duration
+	// WALSegmentBytes caps one log segment; 0 means the WAL default.
+	WALSegmentBytes int64
+
+	// FS is the filesystem the checkpoint and WAL paths go through; nil
+	// means the real one. Tests inject faults and crashes here.
+	FS faultfs.FS
+
+	// FailureThreshold is how many consecutive WAL or checkpoint failures
+	// flip the server into degraded mode (ingest shed with 429, healthz
+	// 503); it defaults to 3.
+	FailureThreshold int
+	// RetryMin and RetryMax bound the exponential backoff used by the
+	// background loops and advertised via Retry-After; they default to
+	// 100ms and 5s.
+	RetryMin time.Duration
+	RetryMax time.Duration
+
+	// MaxIngestBytes caps one POST /ingest body; it defaults to 32 MiB.
+	MaxIngestBytes int64
+
 	// Logf receives one line per lifecycle event (checkpoints, rotation
 	// failures, shutdown); nil means silent.
 	Logf func(format string, args ...any)
 }
 
-// Server is the HTTP front end: it owns the route table, the background
-// rotation and checkpoint loops, and the graceful-shutdown sequence that
-// drains requests and seals every sketch into a final checkpoint.
+func (o Options) withDefaults() Options {
+	if o.CheckpointPath != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 30 * time.Second
+	}
+	if o.WALSyncEvery <= 0 {
+		o.WALSyncEvery = time.Second
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 100 * time.Millisecond
+	}
+	if o.RetryMax < o.RetryMin {
+		o.RetryMax = 5 * time.Second
+		if o.RetryMax < o.RetryMin {
+			o.RetryMax = o.RetryMin
+		}
+	}
+	if o.MaxIngestBytes <= 0 {
+		o.MaxIngestBytes = defaultMaxIngestBody
+	}
+	return o
+}
+
+// Server is the HTTP front end: it owns the route table, the write-ahead
+// log, the background rotation/checkpoint/WAL loops, the degraded-mode
+// health state, and the graceful-shutdown sequence that drains requests and
+// seals every sketch into a final checkpoint.
 type Server struct {
 	reg   *Registry
 	opt   Options
 	mux   *http.ServeMux
 	start time.Time
+	fs    faultfs.FS
+	wal   *wal.Log
+
+	// gate orders ingest against checkpoint cuts: ingest holds the read
+	// side across WAL-append + sketch-apply, a checkpoint takes the write
+	// side to read the log position and seal the sketches as one cut.
+	gate   sync.RWMutex
+	health health
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -52,20 +120,23 @@ type Server struct {
 	loops   sync.WaitGroup
 }
 
-// New wraps reg in a Server. No goroutines start until Serve; embedders
-// that only want the routes can mount Handler directly and still call
-// Shutdown for the final checkpoint.
-func New(reg *Registry, opt Options) *Server {
-	if opt.CheckpointPath != "" && opt.CheckpointEvery <= 0 {
-		opt.CheckpointEvery = 30 * time.Second
+// New wraps reg in a Server and recovers its durable state: the checkpoint
+// at CheckpointPath (if any) is restored, the WAL suffix it does not cover
+// is replayed, and the log is opened for appending. No goroutines start
+// until Serve; embedders that only want the routes can mount Handler
+// directly and still call Shutdown for the final checkpoint.
+func New(reg *Registry, opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{reg: reg, opt: opt, mux: http.NewServeMux(), start: time.Now(), fs: opt.FS}
+	if err := s.recoverState(); err != nil {
+		return nil, err
 	}
-	s := &Server{reg: reg, opt: opt, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
 	s.mux.HandleFunc("POST /rotate", s.handleRotate)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the route table, for mounting under httptest or an
@@ -139,23 +210,11 @@ func (s *Server) startLoops() {
 	}
 	if s.opt.CheckpointPath != "" {
 		s.loops.Add(1)
-		go func() {
-			defer s.loops.Done()
-			t := time.NewTicker(s.opt.CheckpointEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-t.C:
-					if err := s.reg.SaveCheckpoint(s.opt.CheckpointPath); err != nil {
-						s.logf("checkpoint: %v", err)
-					} else {
-						s.logf("checkpoint written to %s", s.opt.CheckpointPath)
-					}
-				}
-			}
-		}()
+		go s.runCheckpointLoop(stop)
+	}
+	if s.wal != nil {
+		s.loops.Add(1)
+		go s.runWALLoop(stop)
 	}
 }
 
@@ -182,13 +241,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.loops.Wait()
 	if s.opt.CheckpointPath != "" {
-		if err := s.reg.SaveCheckpoint(s.opt.CheckpointPath); err != nil {
+		if err := s.saveCheckpoint(); err != nil {
 			s.logf("final checkpoint: %v", err)
 			if first == nil {
 				first = err
 			}
 		} else {
 			s.logf("final checkpoint written to %s", s.opt.CheckpointPath)
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("wal close: %v", err)
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -220,6 +287,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrInvalidMetricName), errors.Is(err, ErrWindowingDisabled), errors.Is(err, ErrNaN):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrDegraded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -241,8 +312,24 @@ type ingestResponse struct {
 	Batches int `json:"batches"`
 }
 
+// writeIngestError maps err to a status, attaching Retry-After when the
+// failure is a durability condition worth retrying against.
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, code, err)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	// Shed before reading the body: while degraded the server cannot honour
+	// an ack, so the cheapest correct answer is an immediate 429.
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		s.writeIngestError(w, fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes))
 	var resp ingestResponse
 	for {
 		var req ingestRequest
@@ -259,8 +346,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
 			return
 		}
-		if err := s.reg.Ingest(req.Metric, req.Values); err != nil {
-			writeError(w, statusFor(err), err)
+		if err := s.ingestBatch(req.Metric, req.Values); err != nil {
+			s.writeIngestError(w, err)
 			return
 		}
 		resp.Accepted += int64(len(req.Values))
@@ -363,23 +450,38 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 }
 
 type metricszResponse struct {
-	Metrics []MetricStatus `json:"metrics"`
+	Metrics    []MetricStatus   `json:"metrics"`
+	Durability DurabilityStatus `json:"durability"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricszResponse{Metrics: s.reg.Status()})
+	writeJSON(w, http.StatusOK, metricszResponse{
+		Metrics:    s.reg.Status(),
+		Durability: s.durabilityStatus(),
+	})
 }
 
 type healthzResponse struct {
 	Status        string  `json:"status"`
+	Reason        string  `json:"reason,omitempty"`
 	Metrics       int     `json:"metrics"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
+// handleHealthz serves 200 "ok" normally and 503 "degraded" with the last
+// durability error while ingest is being shed — queries still work, but
+// orchestrators should route new write traffic elsewhere.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:        "ok",
 		Metrics:       s.reg.Len(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	code := http.StatusOK
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		resp.Status = "degraded"
+		resp.Reason = lastErr
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
