@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce examples clean check vet fmtcheck fuzz-smoke crashtest
+.PHONY: all build test race cover bench bench-json bench-gate reproduce examples clean check vet fmtcheck fuzz-smoke crashtest
 
 all: build test
 
@@ -38,6 +38,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSketchVsExact      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinary    -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzRadixSortVsStdlib  -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzConcurrentAdd      -fuzztime=$(FUZZTIME) ./quantile/
 	$(GO) test -run='^$$' -fuzz=FuzzSketchBinaryRoundTrip -fuzztime=$(FUZZTIME) ./quantile/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay             -fuzztime=$(FUZZTIME) ./internal/wal/
@@ -47,6 +48,24 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The gated hot-path benchmarks: 6 samples each so the gate compares medians.
+BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$
+BENCH_COUNT ?= 6
+
+# bench-json refreshes the committed perf baseline results/BENCH_4.json.
+bench-json:
+	mkdir -p results
+	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) ./internal/core/ \
+		| $(GO) run ./cmd/benchjson parse -o results/BENCH_4.json
+	@echo "wrote results/BENCH_4.json"
+
+# bench-gate re-runs the gated benchmarks and fails on a >15% median ns/op
+# regression against the committed baseline (same check CI runs).
+bench-gate:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) ./internal/core/ > /tmp/bench_new.txt
+	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_4.json -new /tmp/bench_new.txt \
+		-match '^Benchmark(Add|AddBatch|Quantiles)/' -max-regress-pct 15
 
 # Regenerate every table and figure of the paper into results/.
 reproduce:

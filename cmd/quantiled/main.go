@@ -46,6 +46,7 @@ func main() {
 		walSegment = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
 		metrics    = flag.String("metrics", "", "comma-separated metric names to pre-register")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining requests")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 		WALSync:         syncPolicy,
 		WALSyncEvery:    *walEvery,
 		WALSegmentBytes: *walSegment,
+		EnablePprof:     *pprofOn,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Absorb merges the contents of other into s, leaving other untouched.
 // Unlike the query-time combination of internal/parallel, the result is a
@@ -30,6 +27,7 @@ func (s *Sketch) Absorb(other *Sketch) error {
 			other.policy, other.b, other.k, s.policy, s.b, s.k)
 	}
 	sWasEmpty := s.count == 0
+	s.gen++ // invalidate cached query state; the merge below mutates buffers
 
 	// Gather the full buffers: s's own structs plus clones of other's.
 	var list []*buffer
@@ -82,7 +80,7 @@ func (s *Sketch) Absorb(other *Sketch) error {
 	}
 	for len(list) > maxFull {
 		// Collapse the two lightest buffers (minimal W growth).
-		sort.SliceStable(list, func(i, j int) bool { return list[i].weight < list[j].weight })
+		sortBuffersByWeight(list)
 		level := list[0].level
 		if list[1].level > level {
 			level = list[1].level

@@ -156,28 +156,31 @@ func BenchmarkMarshal(b *testing.B) {
 }
 
 // BenchmarkAddBatch measures bulk ingestion throughput against the
-// element-by-element Add loop at several batch sizes.
+// element-by-element Add loop at several batch sizes and buffer geometries;
+// the large-k cases are where the NEW sort dominates.
 func BenchmarkAddBatch(b *testing.B) {
 	data := benchData(1<<16, 6)
-	for _, batch := range []int{16, 256, 4096} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			s, err := NewSketch(10, 596, PolicyNew)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i += batch {
-				off := i & (1<<16 - 1)
-				end := off + batch
-				if end > 1<<16 {
-					end = 1 << 16
-				}
-				if err := s.AddBatch(data[off:end]); err != nil {
+	for _, cfg := range []struct{ bN, k int }{{10, 596}, {8, 4096}} {
+		for _, batch := range []int{16, 256, 4096} {
+			b.Run(fmt.Sprintf("k=%d/batch=%d", cfg.k, batch), func(b *testing.B) {
+				s, err := NewSketch(cfg.bN, cfg.k, PolicyNew)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.SetBytes(8)
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i += batch {
+					off := i & (1<<16 - 1)
+					end := off + batch
+					if end > 1<<16 {
+						end = 1 << 16
+					}
+					if err := s.AddBatch(data[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(8)
+			})
+		}
 	}
 }

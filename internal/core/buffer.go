@@ -58,6 +58,35 @@ func SelectInMerge(bufs []Weighted, targets []int64) []float64 {
 	return out
 }
 
+// mergeScratch holds the cursor state of one weighted-merge selection so
+// repeated selections (every COLLAPSE and every query of a sketch) reuse it
+// instead of allocating per call.
+type mergeScratch struct {
+	heads []int
+	heap  []mergeHead
+}
+
+// headsFor returns a zeroed cursor slice of length n.
+func (m *mergeScratch) headsFor(n int) []int {
+	if cap(m.heads) < n {
+		m.heads = make([]int, n)
+		return m.heads
+	}
+	h := m.heads[:n]
+	for i := range h {
+		h[i] = 0
+	}
+	return h
+}
+
+// heapFor returns an empty heap buffer with capacity for n entries.
+func (m *mergeScratch) heapFor(n int) []mergeHead {
+	if cap(m.heap) < n {
+		m.heap = make([]mergeHead, 0, n)
+	}
+	return m.heap[:0]
+}
+
 // mergeHeapThreshold is the buffer count above which selectInMerge switches
 // from a linear head scan (O(c) per element, cache friendly, fastest for
 // the small c of the Munro-Paterson and new policies) to a binary min-heap
@@ -66,16 +95,25 @@ func SelectInMerge(bufs []Weighted, targets []int64) []float64 {
 const mergeHeapThreshold = 8
 
 // selectInMerge is the allocation-light core of SelectInMerge. out must
-// have the same length as targets.
+// have the same length as targets. Cursor state is allocated per call; the
+// sketch hot paths use selectInMergeScratch instead.
 func selectInMerge(bufs []Weighted, targets []int64, out []float64) {
+	var sc mergeScratch
+	selectInMergeScratch(bufs, targets, out, &sc)
+}
+
+// selectInMergeScratch is selectInMerge with caller-owned cursor state: at
+// steady state (scratch already grown to the sketch's buffer count) a
+// selection performs zero allocations.
+func selectInMergeScratch(bufs []Weighted, targets []int64, out []float64, sc *mergeScratch) {
 	if len(targets) == 0 {
 		return
 	}
 	if len(bufs) > mergeHeapThreshold {
-		selectInMergeHeap(bufs, targets, out)
+		selectInMergeHeap(bufs, targets, out, sc)
 		return
 	}
-	heads := make([]int, len(bufs))
+	heads := sc.headsFor(len(bufs))
 	var pos int64
 	ti := 0
 	clampLowTargets(targets)
@@ -141,9 +179,9 @@ func headLess(a, b mergeHead) bool {
 
 // selectInMergeHeap is the wide-merge variant of selectInMerge: a binary
 // min-heap over the buffer fronts.
-func selectInMergeHeap(bufs []Weighted, targets []int64, out []float64) {
-	heads := make([]int, len(bufs))
-	h := make([]mergeHead, 0, len(bufs))
+func selectInMergeHeap(bufs []Weighted, targets []int64, out []float64, sc *mergeScratch) {
+	heads := sc.headsFor(len(bufs))
+	h := sc.heapFor(len(bufs))
 	for i, b := range bufs {
 		if len(b.Data) > 0 {
 			h = append(h, mergeHead{v: b.Data[0], buf: i})

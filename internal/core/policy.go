@@ -1,9 +1,22 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
+
+// sortBuffersByWeight stable-sorts buffers by ascending weight with an
+// insertion sort: the slice is at most b (tens) long and the stdlib's
+// stable slice sort allocates a closure per call, which would show up in
+// every collapse on the mpPolicy hot path.
+func sortBuffersByWeight(bufs []*buffer) {
+	for i := 1; i < len(bufs); i++ {
+		b := bufs[i]
+		j := i - 1
+		for j >= 0 && bufs[j].weight > b.weight {
+			bufs[j+1] = bufs[j]
+			j--
+		}
+		bufs[j+1] = b
+	}
+}
 
 // Policy selects one of the paper's collapsing policies (Section 3.4).
 type Policy int
@@ -145,9 +158,7 @@ func (p *mpPolicy) acquire(s *Sketch) *buffer {
 			return buf
 		}
 		p.full = s.fullBuffers(p.full[:0])
-		sort.SliceStable(p.full, func(i, j int) bool {
-			return p.full[i].weight < p.full[j].weight
-		})
+		sortBuffersByWeight(p.full)
 		pair := -1
 		for i := 0; i+1 < len(p.full); i++ {
 			if p.full[i].weight == p.full[i+1].weight {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates are skipped under it (instrumentation changes allocation behaviour).
+const raceEnabled = false

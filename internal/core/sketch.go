@@ -49,6 +49,52 @@ type Sketch struct {
 	scratchT []int64
 	scratchV []float64
 	scratchW []Weighted
+
+	// merge is the selection scratch shared by COLLAPSE and the query path.
+	merge mergeScratch
+
+	// Radix-sort scratch for the NEW operation (see radixsort.go).
+	radixKeys []uint64
+	radixSwap []uint64
+
+	// qry is the OUTPUT scratch; gen is the mutation generation that
+	// invalidates its cached padded copy of the mid-fill buffer.
+	qry queryScratch
+	gen uint64
+}
+
+// queryScratch is the per-sketch scratch reused across Quantiles, Rank and
+// outputViews calls so warm queries allocate only their result slice.
+type queryScratch struct {
+	views    []Weighted
+	tgts     []int64
+	idx      []int
+	picked   []float64
+	exactIdx []int
+	exactVal []float64
+
+	// padded caches the sorted, sentinel-padded weight-1 copy of the
+	// mid-fill buffer; it is rebuilt only when the sketch has mutated
+	// (paddedGen != gen) since the copy was made.
+	padded    []float64
+	paddedGen uint64
+
+	sorter tgtSorter
+}
+
+// tgtSorter orders the (tgts, idx) pair by target position; it exists so
+// wide phi lists can use the stdlib sort without the per-call closure
+// allocation of sort.Slice.
+type tgtSorter struct {
+	tgts []int64
+	idx  []int
+}
+
+func (t *tgtSorter) Len() int           { return len(t.tgts) }
+func (t *tgtSorter) Less(i, j int) bool { return t.tgts[i] < t.tgts[j] }
+func (t *tgtSorter) Swap(i, j int) {
+	t.tgts[i], t.tgts[j] = t.tgts[j], t.tgts[i]
+	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
 }
 
 // NewSketch returns a sketch with b buffers of k elements each using the
@@ -75,6 +121,7 @@ func NewSketch(b, k int, policy Policy) (*Sketch, error) {
 		scratchT: make([]int64, k),
 		scratchV: make([]float64, k),
 		scratchW: make([]Weighted, 0, b),
+		gen:      1, // nonzero so a zero paddedGen can never look current
 	}
 	for i := range s.bufs {
 		s.bufs[i] = newBuffer(k)
@@ -111,6 +158,7 @@ func (s *Sketch) Reset() {
 	s.stats = Stats{}
 	s.evenHigh = true
 	s.min, s.max = 0, 0
+	s.gen++
 }
 
 // DisableOffsetAlternation freezes the even-weight collapse offset at w/2
@@ -125,6 +173,7 @@ func (s *Sketch) Add(v float64) error {
 	if math.IsNaN(v) {
 		return errNaN
 	}
+	s.gen++
 	if s.fill == nil {
 		s.startFill()
 	}
@@ -151,6 +200,9 @@ func (s *Sketch) AddSlice(vs []float64) error { return s.AddBatch(vs) }
 // schedule, same Stats), only faster. Like AddSlice it stops at the first
 // NaN, reporting its index; the elements before it stay consumed.
 func (s *Sketch) AddBatch(vs []float64) error {
+	if len(vs) > 0 {
+		s.gen++
+	}
 	off := 0
 	for off < len(vs) {
 		if math.IsNaN(vs[off]) {
@@ -164,24 +216,25 @@ func (s *Sketch) AddBatch(vs []float64) error {
 			take = rest
 		}
 		chunk := vs[off : off+take]
-		// Stop the bulk copy at the first NaN; the outer loop reports it.
+		// One fused scan: stop the bulk copy at the first NaN (the outer
+		// loop reports it) and track the extremes of what precedes it.
+		lo, hi := s.min, s.max
+		if s.count == 0 {
+			lo, hi = chunk[0], chunk[0]
+		}
 		for i, v := range chunk {
 			if math.IsNaN(v) {
 				chunk = chunk[:i]
 				break
 			}
-		}
-		if s.count == 0 {
-			s.min, s.max = chunk[0], chunk[0]
-		}
-		for _, v := range chunk {
-			if v < s.min {
-				s.min = v
+			if v < lo {
+				lo = v
 			}
-			if v > s.max {
-				s.max = v
+			if v > hi {
+				hi = v
 			}
 		}
+		s.min, s.max = lo, hi
 		s.fill.data = append(s.fill.data, chunk...)
 		s.count += int64(len(chunk))
 		off += len(chunk)
@@ -204,7 +257,7 @@ func (s *Sketch) startFill() {
 // completeFill seals the buffer currently being filled: the paper's NEW
 // operation ends by sorting the buffer and stamping it weight 1.
 func (s *Sketch) completeFill() {
-	sort.Float64s(s.fill.data)
+	s.sortFloats(s.fill.data)
 	s.fill.weight = 1
 	s.fill.full = true
 	s.stats.Leaves++
@@ -240,7 +293,7 @@ func (s *Sketch) collapse(inputs []*buffer, level int) *buffer {
 		views = append(views, Weighted{Data: in.data, Weight: in.weight})
 	}
 	out := s.scratchV[:s.k]
-	selectInMerge(views, targets, out)
+	selectInMergeScratch(views, targets, out, &s.merge)
 
 	s.stats.Collapses++
 	s.stats.WeightSum += w
@@ -334,13 +387,15 @@ func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
 	// rank ceil(phi*N) in the original input shifts up by the number of -Inf
 	// sentinels padded onto the partial buffer. This is the paper's
 	// phi' = (2*phi + beta - 1) / (2*beta) transposition, computed directly
-	// on ranks so odd pads are handled exactly.
-	type tgt struct {
-		pos int64
-		idx int
-	}
-	tgts := make([]tgt, len(phis))
-	exact := make(map[int]float64) // extreme ranks answered from min/max
+	// on ranks so odd pads are handled exactly. Everything below the result
+	// slice runs on per-sketch scratch.
+	n := len(phis)
+	q := &s.qry
+	q.tgts = growInt64(q.tgts, n)
+	q.idx = growInt(q.idx, n)
+	q.picked = growFloat64(q.picked, n)
+	q.exactIdx = q.exactIdx[:0]
+	q.exactVal = q.exactVal[:0]
 	for i, phi := range phis {
 		r := int64(math.Ceil(phi * float64(s.count)))
 		if r < 1 {
@@ -353,37 +408,85 @@ func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
 		// the true extremes from the buffers.
 		switch r {
 		case 1:
-			exact[i] = s.min
+			q.exactIdx = append(q.exactIdx, i)
+			q.exactVal = append(q.exactVal, s.min)
 		case s.count:
-			exact[i] = s.max
+			q.exactIdx = append(q.exactIdx, i)
+			q.exactVal = append(q.exactVal, s.max)
 		}
-		tgts[i] = tgt{pos: r + negPad, idx: i}
+		q.tgts[i] = r + negPad
+		q.idx[i] = i
 	}
-	sort.Slice(tgts, func(i, j int) bool { return tgts[i].pos < tgts[j].pos })
-	positions := make([]int64, len(tgts))
-	for i, t := range tgts {
-		positions[i] = t.pos
+	sortTargets(q.tgts, q.idx, &q.sorter)
+	selectInMergeScratch(views, q.tgts, q.picked, &s.merge)
+	out := make([]float64, n)
+	for i, t := range q.idx {
+		out[t] = q.picked[i]
 	}
-	picked := SelectInMerge(views, positions)
-	out := make([]float64, len(phis))
-	for i, t := range tgts {
-		out[t.idx] = picked[i]
-	}
-	for i, v := range exact {
-		out[i] = v
+	for j, i := range q.exactIdx {
+		out[i] = q.exactVal[j]
 	}
 	return out, nil
+}
+
+// insertionSortMax is the phi count above which sortTargets defers to the
+// stdlib sort; below it the branch-light insertion sort wins and stays
+// allocation-free.
+const insertionSortMax = 32
+
+// sortTargets orders the parallel (tgts, idx) slices by target position:
+// insertion sort for the short lists dashboards actually request, stdlib
+// sort (through the reusable tgtSorter, avoiding the sort.Slice closure)
+// for pathological ones.
+func sortTargets(tgts []int64, idx []int, sorter *tgtSorter) {
+	if len(tgts) > insertionSortMax {
+		sorter.tgts, sorter.idx = tgts, idx
+		sort.Sort(sorter)
+		return
+	}
+	for i := 1; i < len(tgts); i++ {
+		t, id := tgts[i], idx[i]
+		j := i - 1
+		for ; j >= 0 && tgts[j] > t; j-- {
+			tgts[j+1], idx[j+1] = tgts[j], idx[j]
+		}
+		tgts[j+1], idx[j+1] = t, id
+	}
+}
+
+// growInt64 returns s resized to n, reallocating only when capacity lacks.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // outputViews assembles the OUTPUT operands: the full buffers plus, if an
 // input buffer is mid-fill, a weight-1 copy padded with equal numbers of
 // -Inf and +Inf sentinels (Section 3.1). It returns the views and the
-// number of -Inf sentinels added.
+// number of -Inf sentinels added. The returned views alias per-sketch
+// scratch and live buffer data: they are valid until the next mutation or
+// query, and callers handing them out (FinalBuffers) must deep-copy.
 func (s *Sketch) outputViews() ([]Weighted, int64, error) {
 	if s.count == 0 {
 		return nil, 0, ErrEmpty
 	}
-	views := make([]Weighted, 0, s.b+1)
+	views := s.qry.views[:0]
 	for _, b := range s.bufs {
 		if b.full {
 			views = append(views, Weighted{Data: b.data, Weight: b.weight})
@@ -391,23 +494,39 @@ func (s *Sketch) outputViews() ([]Weighted, int64, error) {
 	}
 	var negPad int64
 	if s.fill != nil && len(s.fill.data) > 0 {
-		pad := s.k - len(s.fill.data)
-		neg := pad / 2
-		pos := pad - neg
-		padded := make([]float64, 0, s.k)
-		for i := 0; i < neg; i++ {
-			padded = append(padded, math.Inf(-1))
-		}
-		vals := append([]float64(nil), s.fill.data...)
-		sort.Float64s(vals)
-		padded = append(padded, vals...)
-		for i := 0; i < pos; i++ {
-			padded = append(padded, math.Inf(1))
-		}
-		views = append(views, Weighted{Data: padded, Weight: 1})
-		negPad = int64(neg)
+		negPad = s.paddedFill()
+		views = append(views, Weighted{Data: s.qry.padded, Weight: 1})
 	}
+	s.qry.views = views
 	return views, negPad, nil
+}
+
+// paddedFill returns the number of -Inf sentinels in the padded weight-1
+// copy of the mid-fill buffer, (re)building the copy in s.qry.padded only
+// when the sketch has mutated since the last query: repeated reads between
+// Adds sort the partial buffer once, not per query.
+func (s *Sketch) paddedFill() int64 {
+	fillLen := len(s.fill.data)
+	neg := (s.k - fillLen) / 2
+	if s.qry.paddedGen == s.gen && len(s.qry.padded) == s.k {
+		return int64(neg)
+	}
+	if cap(s.qry.padded) < s.k {
+		s.qry.padded = make([]float64, s.k)
+	}
+	p := s.qry.padded[:s.k]
+	for i := 0; i < neg; i++ {
+		p[i] = math.Inf(-1)
+	}
+	vals := p[neg : neg+fillLen]
+	copy(vals, s.fill.data)
+	s.sortFloats(vals)
+	for i := neg + fillLen; i < s.k; i++ {
+		p[i] = math.Inf(1)
+	}
+	s.qry.padded = p
+	s.qry.paddedGen = s.gen
+	return int64(neg)
 }
 
 // FinalBuffers returns copies of the buffers that would feed OUTPUT right
@@ -422,7 +541,9 @@ func (s *Sketch) FinalBuffers() (views []Weighted, negPad int64, err error) {
 	}
 	views = make([]Weighted, len(raw))
 	for i, v := range raw {
-		views[i] = Weighted{Data: append([]float64(nil), v.Data...), Weight: v.Weight}
+		cp := make([]float64, len(v.Data))
+		copy(cp, v.Data)
+		views[i] = Weighted{Data: cp, Weight: v.Weight}
 	}
 	return views, negPad, nil
 }
@@ -440,12 +561,15 @@ func (s *Sketch) FinalBuffersRaw() ([]Weighted, error) {
 	views := make([]Weighted, 0, s.b+1)
 	for _, b := range s.bufs {
 		if b.full {
-			views = append(views, Weighted{Data: append([]float64(nil), b.data...), Weight: b.weight})
+			cp := make([]float64, len(b.data))
+			copy(cp, b.data)
+			views = append(views, Weighted{Data: cp, Weight: b.weight})
 		}
 	}
 	if s.fill != nil && len(s.fill.data) > 0 {
-		vals := append([]float64(nil), s.fill.data...)
-		sort.Float64s(vals)
+		vals := make([]float64, len(s.fill.data))
+		copy(vals, s.fill.data)
+		s.sortFloats(vals)
 		views = append(views, Weighted{Data: vals, Weight: 1})
 	}
 	return views, nil

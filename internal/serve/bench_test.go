@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchRegistry provisions a small registry suitable for benchmark loops.
+func benchRegistry(b *testing.B) *Registry {
+	b.Helper()
+	reg, err := NewRegistry(Config{Epsilon: 0.001, N: 50_000_000, Shards: 1, Windows: 3, PerWindow: 1_000_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+// benchServer wraps the registry in a Server without WAL or checkpointing,
+// isolating the HTTP decode + registry ingest cost.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	srv, err := New(benchRegistry(b), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// ndjsonBody renders objects NDJSON batches of values each as one ingest body.
+func ndjsonBody(objects, values int) string {
+	var sb strings.Builder
+	for o := 0; o < objects; o++ {
+		sb.WriteString(`{"metric":"lat","values":[`)
+		for i := 0; i < values; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d.%d", (o*values+i)%1000, i%10)
+		}
+		sb.WriteString("]}\n")
+	}
+	return sb.String()
+}
+
+// BenchmarkHTTPIngest measures the full POST /ingest hot path: body decode
+// (single object and NDJSON concatenation), registry routing, and sketch
+// ingestion. Bytes/op is the request body size.
+func BenchmarkHTTPIngest(b *testing.B) {
+	for _, cfg := range []struct {
+		name            string
+		objects, values int
+	}{
+		{"obj=1/vals=128", 1, 128},
+		{"obj=1/vals=4096", 1, 4096},
+		{"obj=16/vals=256", 16, 256},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			srv := benchServer(b)
+			h := srv.Handler()
+			body := ndjsonBody(cfg.objects, cfg.values)
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/ingest", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != 200 {
+					b.Fatalf("status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHTTPQuantile measures the GET /quantile read path on a warm
+// metric — the repeated-dashboard-poll shape the query cache is for.
+func BenchmarkHTTPQuantile(b *testing.B) {
+	srv := benchServer(b)
+	h := srv.Handler()
+	seed := httptest.NewRequest("POST", "/ingest", strings.NewReader(ndjsonBody(8, 4096)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, seed)
+	if w.Code != 200 {
+		b.Fatalf("seed ingest: status %d: %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/quantile?metric=lat&phi=0.5,0.99,0.999", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}

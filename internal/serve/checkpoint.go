@@ -249,6 +249,7 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 			}
 			sketches = append(sketches, s)
 		}
+		m.gen.Add(1) // restored baselines change query answers
 		m.resMu.Lock()
 		m.restored = append(m.restored, sketches...)
 		m.resMu.Unlock()

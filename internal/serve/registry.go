@@ -86,7 +86,33 @@ type metric struct {
 
 	resMu    sync.RWMutex // guards restored
 	restored []*quantile.Sketch
+
+	// gen counts mutations (ingest, replay, rotation, restore). Query-cache
+	// entries are stamped with the generation they were computed under and
+	// served only while it still matches, so a cached answer can never
+	// outlive the data it summarised.
+	gen     atomic.Uint64
+	cacheMu sync.Mutex
+	cache   map[queryCacheKey]queryCacheEntry
 }
+
+// queryCacheKey identifies one repeated read: the raw phi parameter exactly
+// as the client sent it (no parse/canonicalise cost on a hit) plus the
+// windowed flag.
+type queryCacheKey struct {
+	phis     string
+	windowed bool
+}
+
+type queryCacheEntry struct {
+	gen uint64
+	res QueryResult
+}
+
+// queryCacheMaxEntries bounds the per-metric cache; dashboards repeat a
+// handful of phi lists, so the bound only matters against adversarial query
+// diversity.
+const queryCacheMaxEntries = 128
 
 func newMetric(name string, cfg Config) (*metric, error) {
 	all, err := quantile.NewConcurrent(quantile.ConcurrentConfig{
@@ -97,7 +123,7 @@ func newMetric(name string, cfg Config) (*metric, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: metric %q: %w", name, err)
 	}
-	m := &metric{name: name, all: all}
+	m := &metric{name: name, all: all, cache: make(map[queryCacheKey]queryCacheEntry)}
 	if cfg.Windows > 0 {
 		ring, err := window.NewRing(cfg.Windows, cfg.WindowEpsilon, cfg.PerWindow)
 		if err != nil {
@@ -114,6 +140,9 @@ type Registry struct {
 	cfg     Config
 	mu      sync.RWMutex
 	metrics map[string]*metric
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // NewRegistry validates the shared per-metric contract by provisioning (and
@@ -214,6 +243,7 @@ func (r *Registry) Ingest(name string, vs []float64) error {
 	if len(vs) == 0 {
 		return nil
 	}
+	m.gen.Add(1)
 	if err := m.all.AddBatch(vs); err != nil {
 		return err
 	}
@@ -267,6 +297,7 @@ func (r *Registry) ApplyReplay(name string, vs []float64) error {
 	if len(vs) == 0 {
 		return nil
 	}
+	m.gen.Add(1)
 	if err := m.all.AddBatch(vs); err != nil {
 		return err
 	}
@@ -284,6 +315,7 @@ func (r *Registry) Rotate(name string) error {
 	if m.ring == nil {
 		return ErrWindowingDisabled
 	}
+	m.gen.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ring.Rotate()
@@ -298,6 +330,7 @@ func (r *Registry) RotateAll() ([]string, error) {
 		if m == nil || m.ring == nil {
 			continue
 		}
+		m.gen.Add(1)
 		m.mu.Lock()
 		err := m.ring.Rotate()
 		m.mu.Unlock()
@@ -338,6 +371,70 @@ func (r *Registry) Quantiles(name string, phis []float64, windowed bool) (QueryR
 		return m.queryWindow(phis)
 	}
 	return m.queryAllTime(phis)
+}
+
+// QuantilesCached is Quantiles behind a generation-stamped per-metric cache:
+// rawKey is the client's phi parameter verbatim (a hit costs one map lookup,
+// no parsing), and any mutation of the metric — ingest, WAL replay, window
+// rotation, checkpoint restore — bumps the generation and so invalidates
+// every entry at once. An entry raced with a concurrent write is stamped
+// with the pre-write generation and can only miss, never serve stale data.
+func (r *Registry) QuantilesCached(name, rawKey string, phis []float64, windowed bool) (QueryResult, error) {
+	m := r.get(name)
+	if m == nil {
+		return QueryResult{}, fmt.Errorf("%w: %q", ErrUnknownMetric, name)
+	}
+	key := queryCacheKey{phis: rawKey, windowed: windowed}
+	gen := m.gen.Load()
+	m.cacheMu.Lock()
+	if e, ok := m.cache[key]; ok && e.gen == gen {
+		m.cacheMu.Unlock()
+		r.cacheHits.Add(1)
+		return e.res, nil
+	}
+	m.cacheMu.Unlock()
+	r.cacheMisses.Add(1)
+
+	var res QueryResult
+	var err error
+	if windowed {
+		res, err = m.queryWindow(phis)
+	} else {
+		res, err = m.queryAllTime(phis)
+	}
+	if err != nil {
+		return QueryResult{}, err
+	}
+	m.cacheMu.Lock()
+	if len(m.cache) >= queryCacheMaxEntries {
+		// Evict stale generations first; if the cache is full of current
+		// entries the query mix is adversarial and dropping everything is
+		// cheaper than tracking recency.
+		for k, e := range m.cache {
+			if e.gen != gen {
+				delete(m.cache, k)
+			}
+		}
+		if len(m.cache) >= queryCacheMaxEntries {
+			clear(m.cache)
+		}
+	}
+	m.cache[key] = queryCacheEntry{gen: gen, res: res}
+	m.cacheMu.Unlock()
+	return res, nil
+}
+
+// CacheStatus reports the query-cache hit/miss counters and the number of
+// live entries across all metrics.
+func (r *Registry) CacheStatus() (hits, misses uint64, entries int) {
+	r.mu.RLock()
+	for _, m := range r.metrics {
+		m.cacheMu.Lock()
+		entries += len(m.cache)
+		m.cacheMu.Unlock()
+	}
+	r.mu.RUnlock()
+	return r.cacheHits.Load(), r.cacheMisses.Load(), entries
 }
 
 func (m *metric) snapshotRestored() []*quantile.Sketch {

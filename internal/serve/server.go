@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,6 +63,11 @@ type Options struct {
 
 	// MaxIngestBytes caps one POST /ingest body; it defaults to 32 MiB.
 	MaxIngestBytes int64
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// own mux. Off by default: the profile endpoints expose internals and
+	// burn CPU, so they are opt-in (quantiled exposes this as -pprof).
+	EnablePprof bool
 
 	// Logf receives one line per lifecycle event (checkpoints, rotation
 	// failures, shutdown); nil means silent.
@@ -136,6 +142,13 @@ func New(reg *Registry, opt Options) (*Server, error) {
 	s.mux.HandleFunc("POST /rotate", s.handleRotate)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opt.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -329,28 +342,46 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeIngestError(w, fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr))
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes))
+	// Read the whole body into pooled scratch, then split and decode the
+	// JSON objects in place: the splitter finds value boundaries and
+	// json.Unmarshal reuses the pooled Values backing array, so a warm
+	// ingest request allocates no decode buffers.
+	sc := getIngestScratch()
+	defer putIngestScratch(sc)
+	var err error
+	sc.body, err = readFullBody(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes), sc.body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
+		return
+	}
 	var resp ingestResponse
+	rest := sc.body
 	for {
-		var req ingestRequest
-		err := dec.Decode(&req)
+		var obj []byte
+		obj, rest, err = nextJSONValue(rest)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				writeError(w, http.StatusRequestEntityTooLarge, err)
-				return
-			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
 			return
 		}
-		if err := s.ingestBatch(req.Metric, req.Values); err != nil {
+		sc.req.Metric = ""
+		sc.req.Values = sc.req.Values[:0]
+		if err := json.Unmarshal(obj, &sc.req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
+			return
+		}
+		if err := s.ingestBatch(sc.req.Metric, sc.req.Values); err != nil {
 			s.writeIngestError(w, err)
 			return
 		}
-		resp.Accepted += int64(len(req.Values))
+		resp.Accepted += int64(len(sc.req.Values))
 		resp.Batches++
 	}
 	if resp.Batches == 0 {
@@ -395,7 +426,8 @@ func parsePhis(raw string) ([]float64, error) {
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	phis, err := parsePhis(q.Get("phi"))
+	rawPhis := q.Get("phi")
+	phis, err := parsePhis(rawPhis)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -409,7 +441,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	name := q.Get("metric")
-	res, err := s.reg.Quantiles(name, phis, windowed)
+	res, err := s.reg.QuantilesCached(name, rawPhis, phis, windowed)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -449,15 +481,27 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rotateResponse{Rotated: rotated})
 }
 
+// QueryCacheStatus is the observability view of the read-path fast lane.
+type QueryCacheStatus struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
 type metricszResponse struct {
-	Metrics    []MetricStatus   `json:"metrics"`
-	Durability DurabilityStatus `json:"durability"`
+	Metrics      []MetricStatus   `json:"metrics"`
+	Durability   DurabilityStatus `json:"durability"`
+	QueryCache   QueryCacheStatus `json:"queryCache"`
+	PprofEnabled bool             `json:"pprofEnabled"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := s.reg.CacheStatus()
 	writeJSON(w, http.StatusOK, metricszResponse{
-		Metrics:    s.reg.Status(),
-		Durability: s.durabilityStatus(),
+		Metrics:      s.reg.Status(),
+		Durability:   s.durabilityStatus(),
+		QueryCache:   QueryCacheStatus{Hits: hits, Misses: misses, Entries: entries},
+		PprofEnabled: s.opt.EnablePprof,
 	})
 }
 

@@ -1,0 +1,44 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConcurrentAddBatchZeroAllocs extends the core package's steady-state
+// guarantee through the sharded front end: routing, shard locking, and the
+// per-shard sketch together allocate nothing per batch once warm.
+func TestConcurrentAddBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	c, err := NewConcurrent(ConcurrentConfig{B: 8, K: 1024, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	data := make([]float64, 1<<15)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	// Warm every shard through several collapse rounds.
+	for i := 0; i < 8; i++ {
+		if err := c.AddBatch(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	allocs := testing.AllocsPerRun(1024, func() {
+		end := off + 512
+		if end > len(data) {
+			off, end = 0, 512
+		}
+		if err := c.AddBatch(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		off = end
+	})
+	if allocs != 0 {
+		t.Fatalf("Concurrent.AddBatch allocated %v per op at steady state, want 0", allocs)
+	}
+}
