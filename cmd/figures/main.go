@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -41,11 +42,11 @@ func main() {
 	var err error
 	switch *figure {
 	case 2, 3, 4:
-		err = figureTree(*figure, *bFlag, *hFlag)
+		err = figureTree(os.Stdout, *figure, *bFlag, *hFlag)
 	case 7:
-		err = figure7(*eps)
+		err = figure7(os.Stdout, *eps)
 	case 8:
-		err = figure8(*delta, *points)
+		err = figure8(os.Stdout, *delta, *points)
 	default:
 		err = fmt.Errorf("unknown figure %d (supported: 2, 3, 4, 7, 8)", *figure)
 	}
@@ -54,8 +55,8 @@ func main() {
 	}
 }
 
-func figure7(eps float64) error {
-	fmt.Printf("Figure 7: memory (elements) vs N at epsilon=%g\n", eps)
+func figure7(out io.Writer, eps float64) error {
+	fmt.Fprintf(out, "Figure 7: memory (elements) vs N at epsilon=%g\n", eps)
 	var sizes []int64
 	for e := 4.0; e <= 9.01; e += 0.25 {
 		sizes = append(sizes, int64(math.Round(math.Pow(10, e))))
@@ -63,7 +64,7 @@ func figure7(eps float64) error {
 	nw := params.MemoryCurve(core.PolicyNew, eps, sizes)
 	mp := params.MemoryCurve(core.PolicyMunroPaterson, eps, sizes)
 	ars := params.MemoryCurve(core.PolicyARS, eps, sizes)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, strings.Join([]string{"N", "new", "munro-paterson", "alsabti-ranka-singh"}, "\t")+"\t")
 	for i, n := range sizes {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t\n", n, nw[i], mp[i], ars[i])
@@ -71,12 +72,12 @@ func figure7(eps float64) error {
 	return w.Flush()
 }
 
-func figure8(delta float64, points int) error {
+func figure8(out io.Writer, delta float64, points int) error {
 	if points < 2 {
 		return fmt.Errorf("need at least 2 points, got %d", points)
 	}
-	fmt.Printf("Figure 8: dataset-size threshold above which sampling wins, confidence %.2f%%\n", 100*(1-delta))
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(out, "Figure 8: dataset-size threshold above which sampling wins, confidence %.2f%%\n", 100*(1-delta))
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "epsilon\tthreshold N\tsampled memory\t")
 	// Log-spaced epsilons from 0.1 down to 0.0001, as in the paper.
 	loE, hiE := math.Log10(0.0001), math.Log10(0.1)
@@ -98,7 +99,7 @@ func figure8(delta float64, points int) error {
 // figureTree draws the collapse trees of Figures 2-4 with the paper's
 // default buffer counts (b=6 for Munro-Paterson, b=10 for
 // Alsabti-Ranka-Singh, b=5 for the new policy).
-func figureTree(figure, b, h int) error {
+func figureTree(out io.Writer, figure, b, h int) error {
 	var root *tree.Node
 	var err error
 	switch figure {
@@ -106,27 +107,27 @@ func figureTree(figure, b, h int) error {
 		if b == 0 {
 			b = 6
 		}
-		fmt.Printf("Figure 2: Munro-Paterson tree, b=%d\n", b)
+		fmt.Fprintf(out, "Figure 2: Munro-Paterson tree, b=%d\n", b)
 		root, err = tree.BuildMunroPaterson(b)
 	case 3:
 		if b == 0 {
 			b = 10
 		}
-		fmt.Printf("Figure 3: Alsabti-Ranka-Singh tree, b=%d\n", b)
+		fmt.Fprintf(out, "Figure 3: Alsabti-Ranka-Singh tree, b=%d\n", b)
 		root, err = tree.BuildARS(b)
 	default:
 		if b == 0 {
 			b = 5
 		}
-		fmt.Printf("Figure 4: new collapsing scheme, b=%d, height=%d\n", b, h)
+		fmt.Fprintf(out, "Figure 4: new collapsing scheme, b=%d, height=%d\n", b, h)
 		root, err = tree.BuildNew(b, h)
 	}
 	if err != nil {
 		return err
 	}
 	s := root.Shape()
-	fmt.Printf("leaves=%d collapses=%d weight-sum=%d wmax=%d lemma5=%g\n\n",
+	fmt.Fprintf(out, "leaves=%d collapses=%d weight-sum=%d wmax=%d lemma5=%g\n\n",
 		s.Leaves, s.Collapses, s.WeightSum, s.WMax, s.ErrorNumerator())
-	fmt.Print(root.Render())
+	fmt.Fprint(out, root.Render())
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// golden under -update. The figures are pure functions of the optimizers
+// and the tree builders, so any diff is a real behaviour change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./cmd/figures -update` to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s; rerun with -update if the change is intended\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestFigure7Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := figure7(&buf, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure7", buf.Bytes())
+}
+
+func TestFigure8Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := figure8(&buf, 1e-4, 13); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure8", buf.Bytes())
+}
+
+func TestFigureTreeGoldens(t *testing.T) {
+	// The paper's default drawings: Figure 2 (b=6), Figure 3 (b=10),
+	// Figure 4 (b=5, h=3). b=0 exercises the per-figure defaulting.
+	for _, tc := range []struct {
+		name   string
+		figure int
+	}{
+		{"figure2-tree", 2},
+		{"figure3-tree", 3},
+		{"figure4-tree", 4},
+	} {
+		var buf bytes.Buffer
+		if err := figureTree(&buf, tc.figure, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, buf.Bytes())
+	}
+}
+
+func TestFigure8RejectsTooFewPoints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := figure8(&buf, 1e-4, 1); err == nil {
+		t.Fatal("points=1 accepted")
+	}
+}

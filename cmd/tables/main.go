@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -36,11 +37,11 @@ func main() {
 	flag.Parse()
 	switch *table {
 	case 1:
-		if err := table1(*algo, *delta); err != nil {
+		if err := table1(os.Stdout, *algo, *delta); err != nil {
 			log.Fatal(err)
 		}
 	case 2:
-		if err := table2(); err != nil {
+		if err := table2(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -50,7 +51,7 @@ func main() {
 
 type cell struct{ b, k int }
 
-func table1(algo string, delta float64) error {
+func table1(out io.Writer, algo string, delta float64) error {
 	blocks := []struct {
 		name string
 		want bool
@@ -80,11 +81,11 @@ func table1(algo string, delta float64) error {
 			continue
 		}
 		printed = true
-		fmt.Println(blk.name)
-		if err := printTable1Block(blk.plan); err != nil {
+		fmt.Fprintln(out, blk.name)
+		if err := printTable1Block(out, blk.plan); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if !printed {
 		return fmt.Errorf("unknown -algo %q (want mp, ars, new, sampled or all)", algo)
@@ -92,8 +93,8 @@ func table1(algo string, delta float64) error {
 	return nil
 }
 
-func printTable1Block(plan func(eps float64, n int64) (cell, error)) error {
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+func printTable1Block(out io.Writer, plan func(eps float64, n int64) (cell, error)) error {
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
 	header := []string{"eps\\N"}
 	for range []string{"b", "k", "bk"} {
 		for _, n := range sizes {
@@ -125,9 +126,9 @@ func printTable1Block(plan func(eps float64, n int64) (cell, error)) error {
 	return w.Flush()
 }
 
-func table2() error {
+func table2(out io.Writer) error {
 	deltas := []float64{1e-2, 1e-3, 1e-4}
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "Sampling followed by New Algorithm")
 	header := []string{"eps\\delta"}
 	for _, col := range []string{"alpha*eps", "S", "b", "k", "bk"} {
@@ -166,9 +167,9 @@ func table2() error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Println("\nnote: S is the Lemma 7 sample size; the paper's printed S column is")
-	fmt.Println("inconsistent with its own k column (see EXPERIMENTS.md), the b/k/bk")
-	fmt.Println("columns reproduce the paper.")
+	fmt.Fprintln(out, "\nnote: S is the Lemma 7 sample size; the paper's printed S column is")
+	fmt.Fprintln(out, "inconsistent with its own k column (see EXPERIMENTS.md), the b/k/bk")
+	fmt.Fprintln(out, "columns reproduce the paper.")
 	return nil
 }
 

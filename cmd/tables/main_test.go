@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// golden under -update. The tables are pure functions of the optimizers, so
+// any diff is a real behaviour change in internal/params.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./cmd/tables -update` to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s; rerun with -update if the change is intended\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := table1(&buf, "all", 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", buf.Bytes())
+}
+
+func TestTable2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2", buf.Bytes())
+}
+
+func TestTable1RejectsUnknownAlgo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := table1(&buf, "gk01", 1e-4); err == nil {
+		t.Fatal("unknown -algo accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package cert
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScenariosDeterministic pins the sweep generator: same budget and seed
+// must produce the identical scenario list, and every scenario must carry a
+// distinct derived seed so failures point at exactly one stream.
+func TestScenariosDeterministic(t *testing.T) {
+	a, err := Scenarios(BudgetSmall, 1)
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	b, err := Scenarios(BudgetSmall, 1)
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations with the same budget and seed differ")
+	}
+	if len(a) < 80 {
+		t.Fatalf("small sweep has only %d scenarios; the cross-product collapsed", len(a))
+	}
+	seeds := make(map[int64]bool, len(a))
+	for _, sc := range a {
+		if seeds[sc.Seed] {
+			t.Fatalf("duplicate derived seed %d (scenario %s)", sc.Seed, sc.Name())
+		}
+		seeds[sc.Seed] = true
+	}
+	c, err := Scenarios(BudgetSmall, 2)
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	if a[0].Seed == c[0].Seed {
+		t.Fatal("changing the sweep seed did not change derived scenario seeds")
+	}
+}
+
+// TestScenariosCoverage asserts the small sweep really spans the advertised
+// cross-product: every policy, every estimator stack, the sampling
+// front-end, and every metamorphic mode.
+func TestScenariosCoverage(t *testing.T) {
+	scs, err := Scenarios(BudgetSmall, 1)
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	policies := map[string]bool{}
+	estimators := map[string]bool{}
+	modes := map[string]bool{}
+	sampled := false
+	for _, sc := range scs {
+		policies[sc.Policy] = true
+		if sc.Mode == "" || sc.Mode == ModeEstimate {
+			est := sc.Estimator
+			if est == "" {
+				est = EstimatorSketch
+			}
+			estimators[est] = true
+		}
+		if sc.Mode != "" {
+			modes[sc.Mode] = true
+		}
+		if sc.Sampled {
+			sampled = true
+		}
+	}
+	for _, p := range Policies() {
+		if !policies[p] {
+			t.Errorf("sweep never exercises policy %q", p)
+		}
+	}
+	for _, e := range []string{EstimatorSketch, EstimatorConcurrent, EstimatorParallel, EstimatorServe} {
+		if !estimators[e] {
+			t.Errorf("sweep never exercises estimator %q", e)
+		}
+	}
+	for _, m := range []string{ModeBoundPermutation, ModeAssociativity, ModeDuplicates, ModeAffine} {
+		if !modes[m] {
+			t.Errorf("sweep never exercises mode %q", m)
+		}
+	}
+	if !sampled {
+		t.Error("sweep never exercises the sampling front-end")
+	}
+}
+
+// TestSmallSweepCertifiesClean is the headline property: the full small
+// sweep — every policy x order x estimator stack x front-end, plus all
+// metamorphic modes — certifies with zero violations and zero errors.
+func TestSmallSweepCertifiesClean(t *testing.T) {
+	res, err := Run(Options{Seed: 1, Budget: BudgetSmall})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, e := range res.Errors {
+		t.Errorf("scenario error: %s", e)
+	}
+	for _, ct := range res.Certificates {
+		js, _ := ct.MarshalIndent()
+		t.Errorf("violation certificate:\n%s", js)
+	}
+	if res.Scenarios < 80 || res.Checks < 1000 {
+		t.Fatalf("sweep too small: %d scenarios, %d checks", res.Scenarios, res.Checks)
+	}
+	if res.WorstEpsUtilisation > 1 {
+		t.Fatalf("worst epsilon utilisation %.3f exceeds 1: guarantee violated", res.WorstEpsUtilisation)
+	}
+	if !res.OK() {
+		t.Fatalf("sweep did not certify: %s", res.Summary())
+	}
+}
+
+// TestCheckDeterministic asserts a scenario replays bit-identically: two
+// Check calls on the same scenario must produce deeply equal outcomes.
+// This is the property that makes certificates replayable at all.
+func TestCheckDeterministic(t *testing.T) {
+	c := NewCertifier(Options{})
+	for _, sc := range []Scenario{
+		{Policy: "new", Order: "shuffled", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42},
+		{Policy: "munro-paterson", Order: "blocked", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42, Estimator: EstimatorConcurrent},
+		{Policy: "new", Order: "sorted", Sampled: true, Delta: 1e-6, Epsilon: 0.1, N: 20000, Phis: sweepPhis(), Seed: 42},
+	} {
+		first, err := c.Check(sc)
+		if err != nil {
+			t.Fatalf("Check(%s): %v", sc.Name(), err)
+		}
+		second, err := c.Check(sc)
+		if err != nil {
+			t.Fatalf("Check(%s) replay: %v", sc.Name(), err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("Check(%s) is not deterministic:\nfirst  %+v\nsecond %+v", sc.Name(), first, second)
+		}
+	}
+}
+
+// TestCheckRejectsMalformedScenarios asserts unknown names and impossible
+// parameters surface as errors, not as silent passes.
+func TestCheckRejectsMalformedScenarios(t *testing.T) {
+	c := NewCertifier(Options{})
+	phis := sweepPhis()
+	cases := []Scenario{
+		{Policy: "gk01", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis},
+		{Policy: "new", Order: "spiral", Epsilon: 0.05, N: 256, Phis: phis},
+		{Mode: "chaos", Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 0, Phis: phis},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256},
+		{Policy: "new", Order: "sorted", Epsilon: 0.1, N: 64, Phis: phis, Sampled: true, Delta: 1e-6},
+		{Policy: "munro-paterson", Order: "sorted", Epsilon: 0.1, N: 20000, Phis: phis, Sampled: true, Delta: 1e-6},
+		{Policy: "munro-paterson", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Estimator: EstimatorServe},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Estimator: "abacus"},
+	}
+	for _, sc := range cases {
+		if _, err := c.Check(sc); err == nil {
+			t.Errorf("Check(%s) accepted a malformed scenario", sc.Name())
+		}
+	}
+}
+
+// TestMetamorphicModesPass runs each metamorphic mode directly for every
+// policy, outside the sweep, so a future sweep reshuffle cannot silently
+// drop them.
+func TestMetamorphicModesPass(t *testing.T) {
+	c := NewCertifier(Options{})
+	for _, pol := range Policies() {
+		for _, mode := range []string{ModeBoundPermutation, ModeAssociativity, ModeDuplicates, ModeAffine} {
+			sc := Scenario{
+				Mode:   mode,
+				Policy: pol, Order: "shuffled",
+				Epsilon: 0.02, N: 1500, Phis: sweepPhis(), Seed: 9, Parts: 3,
+			}
+			out, err := c.Check(sc)
+			if err != nil {
+				t.Fatalf("Check(%s): %v", sc.Name(), err)
+			}
+			if out.Checks == 0 {
+				t.Errorf("%s: ran zero assertions", sc.Name())
+			}
+			for _, v := range out.Violations {
+				t.Errorf("%s: %s", sc.Name(), v)
+			}
+		}
+	}
+}

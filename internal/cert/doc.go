@@ -1,0 +1,29 @@
+// Package cert is the guarantee-certification subsystem: a deterministic,
+// seeded sweep that re-verifies the paper's central claim — every reported
+// quantile is within epsilon*N ranks of exact (Lemma 5, Tables 1-2) — across
+// the full cross-product the rest of the module exercises piecemeal:
+//
+//   - collapsing policies (new, munro-paterson, alsabti-ranka-singh),
+//   - optimizer-chosen (b, k) from internal/params,
+//   - the Section 6 arrival orders of internal/stream (sorted, reversed,
+//     shuffled, zigzag, organ-pipe, blocked),
+//   - the Section 5 sampling front-end next to the deterministic path,
+//   - every estimator stack: the direct sketch facade, the sharded
+//     quantile.Concurrent, the Section 4.9 parallel snapshot combine, and
+//     the internal/serve HTTP path driven through its real handler.
+//
+// Every estimate is checked against an exact oracle for two properties:
+// the a-priori claim (observed rank error <= epsilon*N) and the a-posteriori
+// claim (observed rank error <= the runtime ErrorBound the estimator
+// reported alongside the answer). Metamorphic modes additionally certify
+// properties no single run can: permutation invariance of the bound,
+// Absorb/Combine associativity, duplicate tolerance, and affine
+// equivariance of the comparison-based selection.
+//
+// On failure the certifier shrinks the scenario (halving N, dropping phis,
+// reducing shards/partitions, then the buffer geometry b*k itself) to a
+// minimal still-failing reproducer and emits it as a replayable JSON
+// Certificate. cmd/quantilecert wraps the sweep as a one-command
+// conformance gate for CI; its -selftest mode injects a deliberate bound
+// bug and verifies the certifier catches and shrinks it.
+package cert

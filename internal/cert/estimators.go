@@ -1,0 +1,354 @@
+package cert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mrl/internal/core"
+	"mrl/internal/parallel"
+	"mrl/internal/params"
+	"mrl/internal/sampling"
+	"mrl/internal/serve"
+	"mrl/quantile"
+)
+
+// runResult is what an estimator stack hands back for scoring.
+type runResult struct {
+	// values are the quantile estimates, parallel to the requested phis.
+	values []float64
+	// count is the element count the stack believes it consumed.
+	count int64
+	// bound is the runtime Lemma 5 rank bound served with the answer;
+	// -1 when the stack does not certify one (sampling front-end).
+	bound float64
+	// epsLimit is the a-priori allowance in ranks (epsilon*N, plus the
+	// documented parts-1 slack for the parallel combine); -1 when explicit
+	// geometry voids the a-priori claim.
+	epsLimit float64
+}
+
+// runEstimator dispatches to the scenario's estimator stack.
+func runEstimator(sc Scenario, data, phis []float64) (runResult, error) {
+	est := sc.Estimator
+	if est == "" {
+		est = EstimatorSketch
+	}
+	switch est {
+	case EstimatorSketch:
+		if sc.Sampled {
+			return runSampled(sc, data, phis)
+		}
+		return runSketch(sc, data, phis)
+	case EstimatorConcurrent:
+		return runConcurrent(sc, data, phis)
+	case EstimatorParallel:
+		return runParallel(sc, data, phis)
+	case EstimatorServe:
+		return runServe(sc, data, phis)
+	default:
+		return runResult{}, fmt.Errorf("cert: unknown estimator %q", sc.Estimator)
+	}
+}
+
+// feedChunks exercises both ingestion faces deterministically: a short
+// element-wise prefix through addOne, then batches through addBatch. Both
+// paths are specified to produce identical sketch states; feeding through
+// both keeps the certifier sensitive to either regressing.
+func feedChunks(data []float64, addOne func(float64) error, addBatch func([]float64) error) error {
+	prefix := 7
+	if prefix > len(data) {
+		prefix = len(data)
+	}
+	for i := 0; i < prefix; i++ {
+		if err := addOne(data[i]); err != nil {
+			return err
+		}
+	}
+	const chunk = 237
+	for off := prefix; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := addBatch(data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSketch drives the public quantile.Sketch facade.
+func runSketch(sc Scenario, data, phis []float64) (runResult, error) {
+	pol, err := sc.facadePolicy()
+	if err != nil {
+		return runResult{}, err
+	}
+	cfg := quantile.Config{Policy: pol}
+	epsLimit := sc.Epsilon * float64(len(data))
+	if sc.B > 0 {
+		cfg.B, cfg.K = sc.B, sc.K
+		epsLimit = -1 // explicit geometry: only the runtime bound is claimed
+	} else {
+		cfg.Epsilon, cfg.N = sc.Epsilon, int64(len(data))
+	}
+	sk, err := quantile.New(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := feedChunks(data, sk.Add, sk.AddSlice); err != nil {
+		return runResult{}, err
+	}
+	values, err := sk.Quantiles(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	bound, ok := sk.ErrorBound()
+	if !ok {
+		bound = -1
+	}
+	return runResult{values: values, count: sk.Count(), bound: bound, epsLimit: epsLimit}, nil
+}
+
+// runSampled drives the Section 5 sampling front-end: a sequential selector
+// over a declared population feeding a deterministic sketch sized by the
+// sampled optimizer. The epsilon claim is probabilistic (holds with
+// probability >= 1-Delta), so sweeps keep Delta small enough that a single
+// observed failure is overwhelming evidence of a bug.
+func runSampled(sc Scenario, data, phis []float64) (runResult, error) {
+	if sc.Policy != "new" {
+		return runResult{}, fmt.Errorf("cert: sampling front-end supports only the new policy, got %q", sc.Policy)
+	}
+	if !(sc.Delta > 0 && sc.Delta < 1) {
+		return runResult{}, fmt.Errorf("cert: sampled scenario needs Delta in (0,1), got %g", sc.Delta)
+	}
+	plan, err := params.OptimizeSampled(sc.Epsilon, sc.Delta, len(phis))
+	if err != nil {
+		return runResult{}, err
+	}
+	if plan.SampleSize > int64(len(data)) {
+		return runResult{}, fmt.Errorf("cert: sample size %d exceeds stream length %d; scenario infeasible", plan.SampleSize, len(data))
+	}
+	sk, err := sampling.NewSketch(plan, int64(len(data)), sc.scenarioRand())
+	if err != nil {
+		return runResult{}, err
+	}
+	for _, v := range data {
+		if err := sk.Add(v); err != nil {
+			return runResult{}, err
+		}
+	}
+	values, err := sk.Quantiles(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{
+		values:   values,
+		count:    sk.Count(),
+		bound:    -1, // the sampled guarantee is not certifiable a posteriori
+		epsLimit: sc.Epsilon * float64(len(data)),
+	}, nil
+}
+
+// runConcurrent drives the sharded quantile.Concurrent stack.
+func runConcurrent(sc Scenario, data, phis []float64) (runResult, error) {
+	pol, err := sc.facadePolicy()
+	if err != nil {
+		return runResult{}, err
+	}
+	cfg := quantile.ConcurrentConfig{Policy: pol, Shards: sc.shardsOrDefault()}
+	epsLimit := sc.Epsilon * float64(len(data))
+	if sc.B > 0 {
+		cfg.B, cfg.K = sc.B, sc.K
+		epsLimit = -1
+	} else {
+		cfg.Epsilon, cfg.N = sc.Epsilon, int64(len(data))
+	}
+	con, err := quantile.NewConcurrent(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := feedChunks(data, con.Add, con.AddBatch); err != nil {
+		return runResult{}, err
+	}
+	values, bound, err := con.QuantilesWithBound(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{values: values, count: con.Count(), bound: bound, epsLimit: epsLimit}, nil
+}
+
+// runParallel partitions the stream across independent core sketches and
+// combines frozen snapshots (§4.9). Each partition is provisioned for
+// epsilon over its own split, so the combined answer is within epsilon*N
+// plus the parts-1 ranks the virtual-root combination may add.
+func runParallel(sc Scenario, data, phis []float64) (runResult, error) {
+	pol, err := sc.corePolicy()
+	if err != nil {
+		return runResult{}, err
+	}
+	parts := sc.partsOrDefault()
+	if parts > len(data) {
+		parts = len(data)
+	}
+	perN := (int64(len(data)) + int64(parts) - 1) / int64(parts)
+	b, k := sc.B, sc.K
+	epsLimit := sc.Epsilon*float64(len(data)) + float64(parts-1)
+	if b <= 0 {
+		plan, err := params.Optimize(pol, sc.Epsilon, perN)
+		if err != nil {
+			return runResult{}, err
+		}
+		b, k = plan.B, plan.K
+	} else {
+		epsLimit = -1
+	}
+	snaps := make([]parallel.Snapshot, 0, parts)
+	var count int64
+	per := len(data) / parts
+	extra := len(data) % parts
+	pos := 0
+	for i := 0; i < parts; i++ {
+		sz := per
+		if i < extra {
+			sz++
+		}
+		sk, err := core.NewSketch(b, k, pol)
+		if err != nil {
+			return runResult{}, err
+		}
+		if err := sk.AddBatch(data[pos : pos+sz]); err != nil {
+			return runResult{}, err
+		}
+		pos += sz
+		count += sk.Count()
+		snaps = append(snaps, parallel.Snap(sk))
+	}
+	res, err := parallel.CombineSnapshots(snaps, phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{values: res.Values, count: res.Count, bound: res.ErrorBound, epsLimit: epsLimit}, nil
+}
+
+// certMetric is the metric name serve scenarios ingest into.
+const certMetric = "cert"
+
+// serveIngestBatch is the request body shape of POST /ingest.
+type serveIngestBatch struct {
+	Metric string    `json:"metric"`
+	Values []float64 `json:"values"`
+}
+
+// serveQuantileResponse mirrors the GET /quantile response body.
+type serveQuantileResponse struct {
+	Values     []float64 `json:"values"`
+	Count      int64     `json:"count"`
+	ErrorBound float64   `json:"errorBound"`
+	Epsilon    float64   `json:"epsilon"`
+}
+
+// memoryResponse is a minimal in-process http.ResponseWriter: the serve
+// estimator exercises the full HTTP handler path (routing, body decode,
+// query cache, JSON encode) without opening a listener, which keeps the
+// certifier deterministic and dependency-free.
+type memoryResponse struct {
+	code int
+	hdr  http.Header
+	body bytes.Buffer
+}
+
+func newMemoryResponse() *memoryResponse {
+	return &memoryResponse{code: http.StatusOK, hdr: make(http.Header)}
+}
+
+func (m *memoryResponse) Header() http.Header         { return m.hdr }
+func (m *memoryResponse) WriteHeader(code int)        { m.code = code }
+func (m *memoryResponse) Write(p []byte) (int, error) { return m.body.Write(p) }
+
+// do runs one request through the handler and fails on unexpected status.
+func do(h http.Handler, method, target string, body []byte) (*memoryResponse, error) {
+	var rdr *bytes.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, target, rdr)
+	if err != nil {
+		return nil, err
+	}
+	rec := newMemoryResponse()
+	h.ServeHTTP(rec, req)
+	if rec.code != http.StatusOK {
+		return nil, fmt.Errorf("cert: %s %s: status %d: %s", method, target, rec.code, strings.TrimSpace(rec.body.String()))
+	}
+	return rec, nil
+}
+
+// runServe drives the embeddable HTTP serving subsystem through its real
+// handler: the registry provisions a concurrent sketch per metric, ingest
+// arrives as JSON batches over POST /ingest, and the answer (with its live
+// bound) is read back from GET /quantile.
+func runServe(sc Scenario, data, phis []float64) (runResult, error) {
+	if sc.Policy != "new" {
+		return runResult{}, fmt.Errorf("cert: the serve registry provisions PolicyNew only, got %q", sc.Policy)
+	}
+	if sc.B > 0 {
+		return runResult{}, fmt.Errorf("cert: the serve registry sizes its own geometry; explicit b/k unsupported")
+	}
+	reg, err := serve.NewRegistry(serve.Config{
+		Epsilon: sc.Epsilon,
+		N:       int64(len(data)),
+		Shards:  sc.shardsOrDefault(),
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	srv, err := serve.New(reg, serve.Options{})
+	if err != nil {
+		return runResult{}, err
+	}
+	h := srv.Handler()
+
+	const batch = 512
+	for off := 0; off < len(data); off += batch {
+		end := off + batch
+		if end > len(data) {
+			end = len(data)
+		}
+		body, err := json.Marshal(serveIngestBatch{Metric: certMetric, Values: data[off:end]})
+		if err != nil {
+			return runResult{}, err
+		}
+		if _, err := do(h, http.MethodPost, "/ingest", body); err != nil {
+			return runResult{}, err
+		}
+	}
+
+	parts := make([]string, len(phis))
+	for i, phi := range phis {
+		parts[i] = strconv.FormatFloat(phi, 'g', -1, 64)
+	}
+	target := "/quantile?metric=" + certMetric + "&phi=" + strings.Join(parts, ",")
+	rec, err := do(h, http.MethodGet, target, nil)
+	if err != nil {
+		return runResult{}, err
+	}
+	var resp serveQuantileResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &resp); err != nil {
+		return runResult{}, fmt.Errorf("cert: decoding quantile response: %w", err)
+	}
+	if len(resp.Values) != len(phis) {
+		return runResult{}, fmt.Errorf("cert: serve returned %d values for %d phis", len(resp.Values), len(phis))
+	}
+	return runResult{
+		values:   resp.Values,
+		count:    resp.Count,
+		bound:    resp.ErrorBound,
+		epsLimit: sc.Epsilon * float64(len(data)),
+	}, nil
+}

@@ -1,0 +1,409 @@
+package cert
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mrl/internal/core"
+	"mrl/internal/stream"
+	"mrl/internal/validate"
+	"mrl/quantile"
+)
+
+// Check modes. ModeEstimate streams a dataset through one estimator stack
+// and scores its answers against the exact oracle; the metamorphic modes
+// certify cross-run properties a single estimate cannot witness.
+const (
+	// ModeEstimate is the default: stream, query, score against the oracle.
+	ModeEstimate = "estimate"
+	// ModeBoundPermutation asserts the Lemma 5 accounting (Stats and
+	// ErrorBound) is invariant under the arrival order: the collapse
+	// schedule depends only on how many elements arrived, never on their
+	// values.
+	ModeBoundPermutation = "bound-permutation"
+	// ModeAssociativity asserts Absorb is association-insensitive as far as
+	// the guarantee is concerned: left- and right-associated merge chains
+	// and the flat snapshot combine all stay within their own reported
+	// bounds of the exact oracle and agree on the element count.
+	ModeAssociativity = "associativity"
+	// ModeDuplicates streams a heavily duplicated dataset: the guarantee is
+	// distribution-free, so ties must not degrade it.
+	ModeDuplicates = "duplicates"
+	// ModeAffine asserts exact equivariance under x -> a*x + c (a > 0): the
+	// algorithm only compares and selects, so the transformed stream must
+	// yield exactly the transformed answers, with an identical bound.
+	ModeAffine = "affine"
+)
+
+// Estimator stacks ModeEstimate can drive.
+const (
+	// EstimatorSketch is the public quantile.Sketch facade over one core
+	// sketch (or the sampling front-end when Scenario.Sampled is set).
+	EstimatorSketch = "sketch"
+	// EstimatorConcurrent is the sharded quantile.Concurrent ingest path.
+	EstimatorConcurrent = "concurrent"
+	// EstimatorParallel partitions the stream across independent core
+	// sketches and combines them with parallel.CombineSnapshots (§4.9).
+	EstimatorParallel = "parallel"
+	// EstimatorServe drives the internal/serve HTTP handler end to end:
+	// POST /ingest batches, then GET /quantile.
+	EstimatorServe = "serve"
+)
+
+// Scenario is one fully self-contained, replayable certification case.
+// The zero values of optional fields pick the documented defaults, so a
+// Scenario round-trips through JSON without losing meaning.
+type Scenario struct {
+	// Mode selects the check; empty means ModeEstimate.
+	Mode string `json:"mode,omitempty"`
+	// Policy is the collapsing policy name: "new", "munro-paterson" or
+	// "alsabti-ranka-singh" (the core.Policy String values).
+	Policy string `json:"policy"`
+	// Order is the arrival order: "sorted", "reversed", "shuffled",
+	// "zigzag", "organ-pipe" or "blocked".
+	Order string `json:"order"`
+	// Estimator is the stack under test (ModeEstimate / ModeDuplicates).
+	Estimator string `json:"estimator,omitempty"`
+	// Sampled switches EstimatorSketch to the Section 5 sampling
+	// front-end; Delta is then the permitted failure probability.
+	Sampled bool    `json:"sampled,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// Epsilon is the rank-error tolerance the run is provisioned for.
+	Epsilon float64 `json:"epsilon"`
+	// N is the stream length.
+	N int64 `json:"n"`
+	// Phis are the quantile fractions queried and scored.
+	Phis []float64 `json:"phis"`
+	// Seed drives every random choice (shuffles, block orders, sampling).
+	Seed int64 `json:"seed"`
+	// Shards (EstimatorConcurrent / EstimatorServe) is the writer-shard
+	// count; 0 means 4.
+	Shards int `json:"shards,omitempty"`
+	// Parts (EstimatorParallel / ModeAssociativity) is the partition
+	// count; 0 means 4.
+	Parts int `json:"parts,omitempty"`
+	// B and K, when positive, bypass the optimizer and size the sketch
+	// explicitly. The a-priori epsilon claim is then void (the geometry no
+	// longer derives from Epsilon), so only the runtime-bound property is
+	// checked; the shrinker uses this to minimise b*k in bound failures.
+	B int `json:"b,omitempty"`
+	K int `json:"k,omitempty"`
+}
+
+// Name is the compact scenario identifier used in logs and failures.
+func (sc Scenario) Name() string {
+	mode := sc.Mode
+	if mode == "" {
+		mode = ModeEstimate
+	}
+	est := sc.Estimator
+	if est == "" {
+		est = EstimatorSketch
+	}
+	extra := ""
+	if sc.Sampled {
+		extra = fmt.Sprintf("/sampled(delta=%g)", sc.Delta)
+	}
+	if sc.B > 0 {
+		extra += fmt.Sprintf("/b=%d,k=%d", sc.B, sc.K)
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/eps=%g/n=%d/phis=%d/seed=%d%s",
+		mode, est, sc.Policy, sc.Order, sc.Epsilon, sc.N, len(sc.Phis), sc.Seed, extra)
+}
+
+// shardsOrDefault returns the effective shard count.
+func (sc Scenario) shardsOrDefault() int {
+	if sc.Shards > 0 {
+		return sc.Shards
+	}
+	return 4
+}
+
+// partsOrDefault returns the effective partition count.
+func (sc Scenario) partsOrDefault() int {
+	if sc.Parts > 0 {
+		return sc.Parts
+	}
+	return 4
+}
+
+// corePolicy resolves the scenario's policy name.
+func (sc Scenario) corePolicy() (core.Policy, error) {
+	switch sc.Policy {
+	case "new":
+		return core.PolicyNew, nil
+	case "munro-paterson":
+		return core.PolicyMunroPaterson, nil
+	case "alsabti-ranka-singh":
+		return core.PolicyARS, nil
+	default:
+		return 0, fmt.Errorf("cert: unknown policy %q", sc.Policy)
+	}
+}
+
+// facadePolicy resolves the policy for the public quantile API.
+func (sc Scenario) facadePolicy() (quantile.Policy, error) {
+	switch sc.Policy {
+	case "new":
+		return quantile.PolicyNew, nil
+	case "munro-paterson":
+		return quantile.PolicyMunroPaterson, nil
+	case "alsabti-ranka-singh":
+		return quantile.PolicyARS, nil
+	default:
+		return 0, fmt.Errorf("cert: unknown policy %q", sc.Policy)
+	}
+}
+
+// source builds the scenario's permutation stream of 1..n.
+func (sc Scenario) source() (stream.Source, error) {
+	return orderSource(sc.Order, sc.N, sc.Seed)
+}
+
+func orderSource(order string, n, seed int64) (stream.Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cert: stream length %d must be positive", n)
+	}
+	switch order {
+	case "sorted":
+		return stream.Sorted(n), nil
+	case "reversed":
+		return stream.Reversed(n), nil
+	case "shuffled":
+		return stream.Shuffled(n, seed), nil
+	case "zigzag":
+		return stream.Zigzag(n), nil
+	case "organ-pipe":
+		return stream.OrganPipe(n), nil
+	case "blocked":
+		blocks := 16
+		if int64(blocks) > n {
+			blocks = int(n)
+		}
+		return stream.Blocked(n, blocks, seed), nil
+	default:
+		return nil, fmt.Errorf("cert: unknown arrival order %q", order)
+	}
+}
+
+// Orders lists every arrival order the certifier understands.
+func Orders() []string {
+	return []string{"sorted", "reversed", "shuffled", "zigzag", "organ-pipe", "blocked"}
+}
+
+// Policies lists every collapsing policy name the certifier understands.
+func Policies() []string {
+	return []string{"new", "munro-paterson", "alsabti-ranka-singh"}
+}
+
+// buildData materialises the dataset a ModeEstimate / ModeDuplicates run
+// streams: a permutation of 1..N, or (duplicates) each value of 1..N/4
+// repeated four times, arranged in the scenario's arrival order.
+func (sc Scenario) buildData() ([]float64, error) {
+	if sc.Mode == ModeDuplicates {
+		return sc.buildDuplicatedData()
+	}
+	src, err := sc.source()
+	if err != nil {
+		return nil, err
+	}
+	return stream.Drain(src), nil
+}
+
+// duplicateFactor is how many copies of each distinct value the
+// ModeDuplicates dataset carries.
+const duplicateFactor = 4
+
+// buildDuplicatedData arranges a sorted, duplicated dataset in the
+// scenario's arrival order by using the order's rank permutation as an
+// index sequence: position i receives the (perm(i))-th smallest element.
+func (sc Scenario) buildDuplicatedData() ([]float64, error) {
+	distinct := sc.N / duplicateFactor
+	if distinct < 1 {
+		distinct = 1
+	}
+	n := distinct * duplicateFactor
+	sorted := make([]float64, 0, n)
+	for v := int64(1); v <= distinct; v++ {
+		for c := 0; c < duplicateFactor; c++ {
+			sorted = append(sorted, float64(v))
+		}
+	}
+	src, err := orderSource(sc.Order, n, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]float64, 0, n)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		data = append(data, sorted[int64(r)-1])
+	}
+	return data, nil
+}
+
+// Violation is one failed assertion of a check.
+type Violation struct {
+	// Kind is "epsilon", "bound", "count", or "metamorphic-*".
+	Kind string `json:"kind"`
+	// Phi is the quantile fraction the violation occurred at, when the
+	// assertion is per-quantile.
+	Phi float64 `json:"phi,omitempty"`
+	// Observed is the measured quantity (rank error, differing bound, ...).
+	Observed float64 `json:"observed"`
+	// Limit is the value Observed was required to stay within.
+	Limit float64 `json:"limit"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: observed %.6g > limit %.6g (phi=%g) %s", v.Kind, v.Observed, v.Limit, v.Phi, v.Detail)
+}
+
+// Outcome is the scored result of one scenario check.
+type Outcome struct {
+	Scenario Scenario `json:"scenario"`
+	// Count is the element count the estimator reported.
+	Count int64 `json:"count"`
+	// Bound is the runtime Lemma 5 rank-error bound the estimator reported
+	// at query time; -1 when the stack claims none (sampled front-end).
+	Bound float64 `json:"bound"`
+	// EpsRanks is the a-priori allowance Epsilon*N in ranks; -1 when the
+	// scenario's explicit geometry voids the a-priori claim.
+	EpsRanks float64 `json:"epsRanks"`
+	// WorstRankError is the largest observed rank error across Phis.
+	WorstRankError int64 `json:"worstRankError"`
+	// Checks is the number of individual assertions evaluated.
+	Checks int `json:"checks"`
+	// Violations holds every failed assertion; empty means the scenario
+	// certified clean.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Certifier runs scenario checks under one fixed set of Options.
+type Certifier struct {
+	opts Options
+}
+
+// NewCertifier returns a certifier; see Options for the knobs.
+func NewCertifier(opts Options) *Certifier {
+	return &Certifier{opts: opts}
+}
+
+// Check runs one scenario and scores every assertion it implies. An error
+// means the scenario could not be run at all (unknown names, infeasible
+// sampling plans); violations of the guarantee are reported in the Outcome,
+// not as errors.
+func (c *Certifier) Check(sc Scenario) (Outcome, error) {
+	mode := sc.Mode
+	if mode == "" {
+		mode = ModeEstimate
+	}
+	switch mode {
+	case ModeEstimate, ModeDuplicates:
+		return c.checkEstimate(sc)
+	case ModeBoundPermutation:
+		return c.checkBoundPermutation(sc)
+	case ModeAssociativity:
+		return c.checkAssociativity(sc)
+	case ModeAffine:
+		return c.checkAffine(sc)
+	default:
+		return Outcome{}, fmt.Errorf("cert: unknown mode %q", sc.Mode)
+	}
+}
+
+// floatEqTol absorbs float roundoff when comparing an integer rank error
+// against epsilon*N; it is far below one rank, the guarantee's granularity.
+const floatEqTol = 1e-9
+
+// checkEstimate is the core scoring path: build the dataset, run the
+// estimator stack, and assert the two guarantees per phi plus the count.
+func (c *Certifier) checkEstimate(sc Scenario) (Outcome, error) {
+	if len(sc.Phis) == 0 {
+		return Outcome{}, fmt.Errorf("cert: scenario %s has no phis", sc.Name())
+	}
+	data, err := sc.buildData()
+	if err != nil {
+		return Outcome{}, err
+	}
+	rr, err := runEstimator(sc, data, sc.Phis)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if c.opts.Corrupt != nil {
+		c.opts.Corrupt(sc, rr.values)
+	}
+	out := Outcome{Scenario: sc, Count: rr.count, Bound: rr.bound, EpsRanks: rr.epsLimit}
+
+	rep, err := validate.Evaluate(sc.Name(), data, sc.Phis, rr.values)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cert: scoring %s: %w", sc.Name(), err)
+	}
+
+	out.Checks++
+	if rr.count != int64(len(data)) {
+		out.Violations = append(out.Violations, Violation{
+			Kind:     "count",
+			Observed: float64(rr.count),
+			Limit:    float64(len(data)),
+			Detail:   "estimator count disagrees with elements streamed",
+		})
+	}
+	if rr.bound >= 0 {
+		out.Checks++
+		if math.IsNaN(rr.bound) || math.IsInf(rr.bound, 0) {
+			out.Violations = append(out.Violations, Violation{
+				Kind:     "bound",
+				Observed: rr.bound,
+				Limit:    0,
+				Detail:   "runtime bound is not finite",
+			})
+		}
+	}
+	for _, q := range rep.Results {
+		if q.RankError > out.WorstRankError {
+			out.WorstRankError = q.RankError
+		}
+		if rr.epsLimit >= 0 {
+			out.Checks++
+			if float64(q.RankError) > rr.epsLimit+floatEqTol {
+				detail := "a-priori claim: rank error exceeds epsilon*N"
+				if sc.Sampled {
+					detail = fmt.Sprintf("probabilistic claim (delta=%g): rank error exceeds epsilon*N", sc.Delta)
+				}
+				out.Violations = append(out.Violations, Violation{
+					Kind:     "epsilon",
+					Phi:      q.Phi,
+					Observed: float64(q.RankError),
+					Limit:    rr.epsLimit,
+					Detail:   detail,
+				})
+			}
+		}
+		if rr.bound >= 0 {
+			out.Checks++
+			if float64(q.RankError) > rr.bound+floatEqTol {
+				out.Violations = append(out.Violations, Violation{
+					Kind:     "bound",
+					Phi:      q.Phi,
+					Observed: float64(q.RankError),
+					Limit:    rr.bound,
+					Detail:   "a-posteriori claim: rank error exceeds the runtime ErrorBound served with the answer",
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// scenarioRand returns the scenario's deterministic random source; every
+// random choice inside a check must come from here (or from the stream
+// seeds) so a Scenario replays bit-identically.
+func (sc Scenario) scenarioRand() *rand.Rand {
+	return rand.New(rand.NewSource(sc.Seed))
+}

@@ -1,0 +1,138 @@
+package cert
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corruptAll distorts every estimate far outside the data range, simulating
+// an estimator whose answers stop honouring the guarantee entirely.
+func corruptAll(_ Scenario, estimates []float64) {
+	for i := range estimates {
+		estimates[i] += 1e9
+	}
+}
+
+// TestInjectedBoundBugIsCaughtShrunkAndReplayable is the mutation check the
+// subsystem exists for: inject a guarantee-violating distortion through the
+// Corrupt hook, and require the certifier to (1) detect it as both an
+// epsilon and a runtime-bound violation, (2) shrink the scenario to a
+// strictly smaller minimal reproducer with pinned geometry, and (3) emit a
+// JSON certificate that replays to the same failing outcome.
+func TestInjectedBoundBugIsCaughtShrunkAndReplayable(t *testing.T) {
+	c := NewCertifier(Options{Corrupt: corruptAll})
+	sc := Scenario{
+		Policy: "new", Order: "shuffled",
+		Epsilon: 0.01, N: 2048, Phis: sweepPhis(), Seed: 5,
+	}
+
+	out, err := c.Check(sc)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, v := range out.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds["epsilon"] || !kinds["bound"] {
+		t.Fatalf("injected bug not fully detected; violation kinds: %v", kinds)
+	}
+
+	ct, err := c.certify(sc)
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if ct.ShrinkSteps == 0 {
+		t.Fatal("shrinker accepted no reductions on a trivially shrinkable failure")
+	}
+	if ct.Minimal.N >= sc.N {
+		t.Errorf("minimal N = %d did not shrink below original %d", ct.Minimal.N, sc.N)
+	}
+	if len(ct.Minimal.Phis) != 1 {
+		t.Errorf("minimal reproducer still queries %d phis, want 1", len(ct.Minimal.Phis))
+	}
+	if ct.Minimal.B == 0 {
+		t.Error("shrinker never pinned the optimizer geometry; reproducer still depends on the optimizer")
+	}
+	if len(ct.Outcome.Violations) == 0 {
+		t.Fatal("minimal scenario's outcome carries no violations")
+	}
+
+	js, err := ct.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	parsed, err := ParseCertificate(js)
+	if err != nil {
+		t.Fatalf("ParseCertificate: %v", err)
+	}
+	if !reflect.DeepEqual(parsed.Minimal, ct.Minimal) {
+		t.Fatal("minimal scenario did not survive the JSON round trip")
+	}
+	replayed, err := c.Replay(parsed)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(replayed, ct.Outcome) {
+		t.Errorf("replay diverged from the certified outcome:\ncertified %+v\nreplayed  %+v", ct.Outcome, replayed)
+	}
+}
+
+// TestSweepSurfacesInjectedBugAsCertificate runs the mutation end to end
+// through Run: a Corrupt hook targeting one narrow scenario slice must turn
+// a passing sweep into a failing Result carrying shrunk certificates, while
+// untargeted scenarios stay clean.
+func TestSweepSurfacesInjectedBugAsCertificate(t *testing.T) {
+	corrupt := func(sc Scenario, estimates []float64) {
+		if sc.Estimator == EstimatorSketch && sc.Mode == "" && !sc.Sampled &&
+			sc.Policy == "munro-paterson" && sc.Order == "sorted" && sc.N == 512 {
+			corruptAll(sc, estimates)
+		}
+	}
+	res, err := Run(Options{Seed: 1, Budget: BudgetSmall, Corrupt: corrupt})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.OK() {
+		t.Fatal("sweep certified clean despite an injected estimator bug")
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("unexpected scenario errors: %v", res.Errors)
+	}
+	if len(res.Certificates) == 0 {
+		t.Fatal("no certificates emitted for the injected bug")
+	}
+	for _, ct := range res.Certificates {
+		if ct.Original.Policy != "munro-paterson" || ct.Original.Order != "sorted" {
+			t.Errorf("certificate blames untargeted scenario %s", ct.Original.Name())
+		}
+		if ct.Minimal.N >= ct.Original.N && len(ct.Minimal.Phis) >= len(ct.Original.Phis) {
+			t.Errorf("certificate %s was not shrunk at all", ct.Original.Name())
+		}
+	}
+	if !strings.HasPrefix(res.Summary(), "FAIL") {
+		t.Errorf("Summary() = %q, want FAIL prefix", res.Summary())
+	}
+}
+
+// TestShrinkLeavesPassingScenarioAlone: a scenario that does not fail must
+// come back unchanged with zero accepted steps.
+func TestShrinkLeavesPassingScenarioAlone(t *testing.T) {
+	c := NewCertifier(Options{})
+	sc := Scenario{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 512, Phis: sweepPhis(), Seed: 3}
+	min, steps := c.Shrink(sc)
+	if steps != 0 || !reflect.DeepEqual(min, sc) {
+		t.Fatalf("Shrink modified a passing scenario: %d steps, %+v", steps, min)
+	}
+}
+
+// TestParseCertificateRejectsGarbage pins the certificate schema gate.
+func TestParseCertificateRejectsGarbage(t *testing.T) {
+	if _, err := ParseCertificate([]byte("not json")); err == nil {
+		t.Error("ParseCertificate accepted malformed JSON")
+	}
+	if _, err := ParseCertificate([]byte(`{"version": 999}`)); err == nil {
+		t.Error("ParseCertificate accepted an unknown schema version")
+	}
+}

@@ -19,6 +19,7 @@ type BinaryFile struct {
 	r    *bufio.Reader
 	n    int64
 	pos  int64
+	err  error
 	buf  [8]byte
 }
 
@@ -53,14 +54,21 @@ func (b *BinaryFile) Next() (float64, bool) {
 		return 0, false
 	}
 	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
-		// Treat I/O failure as stream end; Len()-pos mismatch tells the
-		// caller something went wrong.
+		// Treat I/O failure as stream end and remember why: the file was
+		// truncated or unreadable mid-stream, so the elements delivered so
+		// far are a silent prefix unless the caller consults Err.
+		b.err = fmt.Errorf("stream: %s: read record %d of %d: %w", b.path, b.pos, b.n, err)
 		b.pos = b.n
 		return 0, false
 	}
 	b.pos++
 	return math.Float64frombits(binary.LittleEndian.Uint64(b.buf[:])), true
 }
+
+// Err reports the I/O error that ended the stream early, if any. A fully
+// delivered stream (or one not yet exhausted) returns nil; a successful
+// Reset clears it.
+func (b *BinaryFile) Err() error { return b.err }
 
 // Len returns the number of float64 records in the file.
 func (b *BinaryFile) Len() int64 { return b.n }
@@ -71,8 +79,10 @@ func (b *BinaryFile) Reset() {
 	if _, err := b.f.Seek(0, io.SeekStart); err != nil {
 		// Render the source empty rather than silently replaying garbage.
 		b.n = 0
+		b.err = fmt.Errorf("stream: %s: rewind: %w", b.path, err)
 		return
 	}
+	b.err = nil
 	b.r.Reset(b.f)
 }
 

@@ -1,0 +1,52 @@
+package tree
+
+import (
+	"fmt"
+
+	"mrl/internal/core"
+)
+
+// Measure instruments a real run: it streams n elements into a live
+// core.Sketch with k-element buffers and reads back the realised collapse
+// tree — L, C, W and wmax in weight units, exactly the Figure 5 symbols the
+// closed forms in this package predict. It also returns the sketch's own
+// ErrorBound so callers can tie the measured shape to the runtime Lemma 5
+// guarantee: with no Absorbs the two must agree to the last bit.
+//
+// Unlike Simulate (which replays the schedule at k = 1), Measure exercises
+// the production ingest path at arbitrary k, so it additionally witnesses
+// that the collapse schedule depends only on the number of filled leaves,
+// never on k or on the data values.
+func Measure(policy core.Policy, b, k int, n int64) (Shape, float64, error) {
+	if n < 1 {
+		return Shape{}, 0, fmt.Errorf("tree: n %d must be positive", n)
+	}
+	s, err := core.NewSketch(b, k, policy)
+	if err != nil {
+		return Shape{}, 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			return Shape{}, 0, err
+		}
+	}
+	st := s.Stats()
+	views, err := s.FinalBuffersRaw()
+	if err != nil {
+		return Shape{}, 0, err
+	}
+	var wmax int64
+	for _, v := range views {
+		if v.Weight > wmax {
+			wmax = v.Weight
+		}
+	}
+	return Shape{
+		Policy:    policy,
+		B:         b,
+		Leaves:    st.Leaves,
+		Collapses: st.Collapses,
+		WeightSum: st.WeightSum,
+		WMax:      wmax,
+	}, s.ErrorBound(), nil
+}

@@ -1,0 +1,164 @@
+package tree
+
+import (
+	"testing"
+
+	"mrl/internal/core"
+)
+
+// measureGridKs are the buffer sizes the property grid sweeps: the paper's
+// accounting is entirely in weight units, so none of the measured tree
+// quantities may depend on k.
+var measureGridKs = []int{1, 4, 17}
+
+// TestMeasureNewMatchesClosedForms is satellite cross-validation at full
+// generality: for a grid of (b, h, k), streaming exactly L(b,h)*k elements
+// through a REAL sketch must realise exactly the analytic Figure 4 tree —
+// same C, W and wmax — and the sketch's runtime ErrorBound must equal the
+// shape's Lemma 5 numerator bit for bit.
+func TestMeasureNewMatchesClosedForms(t *testing.T) {
+	for b := 2; b <= 6; b++ {
+		for h := 3; h <= 5; h++ {
+			want, err := New(b, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Leaves > 20000 {
+				continue
+			}
+			for _, k := range measureGridKs {
+				got, bound, err := Measure(core.PolicyNew, b, k, want.Leaves*int64(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Leaves != want.Leaves {
+					t.Errorf("b=%d h=%d k=%d: measured %d leaves, want %d", b, h, k, got.Leaves, want.Leaves)
+				}
+				if got.Collapses != want.Collapses || got.WeightSum != want.WeightSum || got.WMax != want.WMax {
+					t.Errorf("b=%d h=%d k=%d: measured (C=%d, W=%d, wmax=%d), closed form (%d, %d, %d)",
+						b, h, k, got.Collapses, got.WeightSum, got.WMax,
+						want.Collapses, want.WeightSum, want.WMax)
+				}
+				if bound != got.ErrorNumerator() {
+					t.Errorf("b=%d h=%d k=%d: runtime ErrorBound %v != measured shape numerator %v",
+						b, h, k, bound, got.ErrorNumerator())
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureMPWithinClosedForms: the lazy runtime Munro-Paterson schedule,
+// measured over a (b, k) grid at nominal capacity 2^(b-1) leaves, must
+// realise the stipulated leaf count and never exceed the Figure 2 tree's
+// analytic error numerator.
+func TestMeasureMPWithinClosedForms(t *testing.T) {
+	for b := 3; b <= 9; b++ {
+		want, err := MunroPaterson(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range measureGridKs {
+			got, bound, err := Measure(core.PolicyMunroPaterson, b, k, want.Leaves*int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Leaves != want.Leaves {
+				t.Errorf("b=%d k=%d: measured %d leaves, want %d", b, k, got.Leaves, want.Leaves)
+			}
+			if got.ErrorNumerator() > want.ErrorNumerator() {
+				t.Errorf("b=%d k=%d: measured numerator %v exceeds closed form %v",
+					b, k, got.ErrorNumerator(), want.ErrorNumerator())
+			}
+			if bound != got.ErrorNumerator() {
+				t.Errorf("b=%d k=%d: runtime ErrorBound %v != measured numerator %v", b, k, bound, got.ErrorNumerator())
+			}
+		}
+	}
+}
+
+// TestMeasureARSWithinClosedForms: same inequality grid for Alsabti-Ranka-
+// Singh at its nominal (b/2)^2-leaf capacity.
+func TestMeasureARSWithinClosedForms(t *testing.T) {
+	for b := 4; b <= 12; b += 2 {
+		want, err := ARS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range measureGridKs {
+			got, bound, err := Measure(core.PolicyARS, b, k, want.Leaves*int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Leaves != want.Leaves {
+				t.Errorf("b=%d k=%d: measured %d leaves, want %d", b, k, got.Leaves, want.Leaves)
+			}
+			if got.ErrorNumerator() > want.ErrorNumerator() {
+				t.Errorf("b=%d k=%d: measured numerator %v exceeds closed form %v",
+					b, k, got.ErrorNumerator(), want.ErrorNumerator())
+			}
+			if bound != got.ErrorNumerator() {
+				t.Errorf("b=%d k=%d: runtime ErrorBound %v != measured numerator %v", b, k, bound, got.ErrorNumerator())
+			}
+		}
+	}
+}
+
+// TestMeasureIsKInvariant pins the schedule's data- and k-independence
+// directly: at the same leaf count, every weight-unit quantity of the
+// measured tree must be identical for k = 1 and for larger k.
+func TestMeasureIsKInvariant(t *testing.T) {
+	for _, pol := range []core.Policy{core.PolicyNew, core.PolicyMunroPaterson, core.PolicyARS} {
+		for _, leaves := range []int64{1, 2, 7, 33, 250} {
+			b := 6
+			ref, refBound, err := Measure(pol, b, 1, leaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{4, 17} {
+				got, bound, err := Measure(pol, b, k, leaves*int64(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Leaves != ref.Leaves || got.Collapses != ref.Collapses ||
+					got.WeightSum != ref.WeightSum || got.WMax != ref.WMax {
+					t.Errorf("%v leaves=%d k=%d: shape %+v differs from k=1 shape %+v", pol, leaves, k, got, ref)
+				}
+				if bound != refBound {
+					t.Errorf("%v leaves=%d k=%d: bound %v differs from k=1 bound %v", pol, leaves, k, bound, refBound)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasurePartialFills: off-capacity streams (n not a multiple of k,
+// partial final buffer) must still account consistently — the runtime bound
+// always equals the measured shape's numerator, and the leaf count is the
+// number of COMPLETED fills.
+func TestMeasurePartialFills(t *testing.T) {
+	for _, pol := range []core.Policy{core.PolicyNew, core.PolicyMunroPaterson, core.PolicyARS} {
+		for _, n := range []int64{1, 5, 16, 99, 1000} {
+			const b, k = 5, 16
+			got, bound, err := Measure(pol, b, k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := n / k; got.Leaves != want {
+				t.Errorf("%v n=%d: %d leaves, want %d", pol, n, got.Leaves, want)
+			}
+			if bound != got.ErrorNumerator() {
+				t.Errorf("%v n=%d: runtime ErrorBound %v != measured numerator %v", pol, n, bound, got.ErrorNumerator())
+			}
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, _, err := Measure(core.PolicyNew, 3, 8, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := Measure(core.PolicyNew, 1, 8, 5); err == nil {
+		t.Error("b=1 accepted")
+	}
+}

@@ -16,6 +16,9 @@ func RunPermutation(src stream.Source, est Estimator, phis []float64) (Report, e
 	if n < 1 {
 		return Report{}, fmt.Errorf("validate: empty source %s", src.Name())
 	}
+	if err := CheckPhis(phis); err != nil {
+		return Report{}, err
+	}
 	if err := stream.Each(src, est.Add); err != nil {
 		return Report{}, fmt.Errorf("validate: streaming %s: %w", src.Name(), err)
 	}
@@ -23,11 +26,11 @@ func RunPermutation(src stream.Source, est Estimator, phis []float64) (Report, e
 	if err != nil {
 		return Report{}, fmt.Errorf("validate: querying after %s: %w", src.Name(), err)
 	}
+	if len(estimates) != len(phis) {
+		return Report{}, fmt.Errorf("validate: %d phis but %d estimates", len(phis), len(estimates))
+	}
 	rep := Report{Source: src.Name(), N: n, Results: make([]QuantileResult, len(phis))}
 	for i, phi := range phis {
-		if phi < 0 || phi > 1 || math.IsNaN(phi) {
-			return Report{}, fmt.Errorf("validate: phi %v outside [0,1]", phi)
-		}
 		target := int64(math.Ceil(phi * float64(n)))
 		if target < 1 {
 			target = 1

@@ -1,0 +1,79 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"mrl/internal/stream"
+)
+
+// countingEstimator records how many elements it was fed; used to prove the
+// runners reject malformed phis BEFORE streaming.
+type countingEstimator struct {
+	adds int
+}
+
+func (c *countingEstimator) Add(float64) error { c.adds++; return nil }
+
+func (c *countingEstimator) Quantiles(phis []float64) ([]float64, error) {
+	return make([]float64, len(phis)), nil
+}
+
+// TestCheckPhis pins the validator itself.
+func TestCheckPhis(t *testing.T) {
+	if err := CheckPhis([]float64{0, 0.5, 1}); err != nil {
+		t.Fatalf("valid phis rejected: %v", err)
+	}
+	if err := CheckPhis(nil); err != nil {
+		t.Fatalf("empty phi set rejected: %v", err)
+	}
+	for _, bad := range []float64{-0.01, 1.01, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := CheckPhis([]float64{0.5, bad}); err == nil {
+			t.Errorf("CheckPhis accepted %v", bad)
+		}
+	}
+}
+
+// TestRunRejectsBadPhiBeforeStreaming is the regression test for the bug
+// where Run and RunPermutation streamed the entire source and only then
+// noticed a malformed phi: a bad query must fail fast, with the estimator
+// never having seen a single element.
+func TestRunRejectsBadPhiBeforeStreaming(t *testing.T) {
+	bads := [][]float64{
+		{0.5, math.NaN()},
+		{-0.1},
+		{1.5},
+		{0.25, 0.5, math.Inf(1)},
+	}
+	for _, phis := range bads {
+		est := &countingEstimator{}
+		if _, err := Run(stream.Sorted(1000), est, phis); err == nil {
+			t.Errorf("Run accepted phis %v", phis)
+		}
+		if est.adds != 0 {
+			t.Errorf("Run streamed %d elements before rejecting phis %v", est.adds, phis)
+		}
+
+		est = &countingEstimator{}
+		if _, err := RunPermutation(stream.Sorted(1000), est, phis); err == nil {
+			t.Errorf("RunPermutation accepted phis %v", phis)
+		}
+		if est.adds != 0 {
+			t.Errorf("RunPermutation streamed %d elements before rejecting phis %v", est.adds, phis)
+		}
+	}
+}
+
+// shortEstimator answers fewer estimates than phis, as a buggy estimator
+// might; RunPermutation must error instead of indexing out of range.
+type shortEstimator struct{ countingEstimator }
+
+func (s *shortEstimator) Quantiles(phis []float64) ([]float64, error) {
+	return make([]float64, len(phis)/2), nil
+}
+
+func TestRunPermutationRejectsShortEstimates(t *testing.T) {
+	if _, err := RunPermutation(stream.Sorted(100), &shortEstimator{}, []float64{0.25, 0.75}); err == nil {
+		t.Fatal("mismatched estimate count accepted")
+	}
+}

@@ -77,11 +77,26 @@ func (r Report) String() string {
 		r.Source, r.N, len(r.Results), r.MaxEpsilon(), r.MeanEpsilon())
 }
 
+// CheckPhis rejects any quantile fraction outside [0,1] (NaN included).
+// Runners call it before streaming so a malformed query fails fast instead
+// of after an arbitrarily long (and possibly unrepeatable) ingest.
+func CheckPhis(phis []float64) error {
+	for _, phi := range phis {
+		if math.IsNaN(phi) || phi < 0 || phi > 1 {
+			return fmt.Errorf("validate: phi %v outside [0,1]", phi)
+		}
+	}
+	return nil
+}
+
 // Run streams src through est while retaining a copy of the data for exact
 // scoring, then evaluates the estimator's answers for phis. It costs O(N)
 // memory for the exact oracle — validation is an offline activity; the
 // estimator itself still sees a strict one-pass stream.
 func Run(src stream.Source, est Estimator, phis []float64) (Report, error) {
+	if err := CheckPhis(phis); err != nil {
+		return Report{}, err
+	}
 	data := make([]float64, 0, src.Len())
 	err := stream.Each(src, func(v float64) error {
 		data = append(data, v)
@@ -106,14 +121,14 @@ func Evaluate(name string, data []float64, phis, estimates []float64) (Report, e
 	if len(data) == 0 {
 		return Report{}, fmt.Errorf("validate: empty dataset")
 	}
+	if err := CheckPhis(phis); err != nil {
+		return Report{}, err
+	}
 	sorted := append([]float64(nil), data...)
 	sort.Float64s(sorted)
 	n := int64(len(sorted))
 	rep := Report{Source: name, N: n, Results: make([]QuantileResult, len(phis))}
 	for i, phi := range phis {
-		if phi < 0 || phi > 1 || math.IsNaN(phi) {
-			return Report{}, fmt.Errorf("validate: phi %v outside [0,1]", phi)
-		}
 		est := estimates[i]
 		target := int64(math.Ceil(phi * float64(n)))
 		if target < 1 {
