@@ -43,10 +43,13 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSketchBinaryRoundTrip -fuzztime=$(FUZZTIME) ./quantile/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay             -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryFile            -fuzztime=$(FUZZTIME) ./internal/stream/
+	$(GO) test -run='^$$' -fuzz=FuzzKLLBinaryRoundTrip      -fuzztime=$(FUZZTIME) ./internal/kll/
+	$(GO) test -run='^$$' -fuzz=FuzzWeightedBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/weighted/
 
 # cert-smoke runs the guarantee-certification sweep at the CI budget: every
-# policy x order x estimator stack is checked against the exact oracle, and
-# the certifier's own detection machinery is mutation-tested via -selftest.
+# policy x order x estimator stack x backend (mrl, kll, weighted) is checked
+# against the exact oracle, and the certifier's own detection machinery is
+# mutation-tested — on both the mrl and kll axes — via -selftest.
 cert-smoke:
 	$(GO) run ./cmd/quantilecert -seed 1 -budget small
 	$(GO) run ./cmd/quantilecert -seed 1 -budget small -selftest
@@ -56,11 +59,14 @@ cover:
 
 # cover-gate enforces statement-coverage floors on the guarantee-critical
 # packages. Floors sit a few points under current coverage (core 94%,
-# cert 80%) so incidental drift passes but a dropped test layer fails.
+# cert 80%, kll 92%, weighted 90%) so incidental drift passes but a dropped
+# test layer fails.
 COVER_FLOOR_CORE ?= 90
 COVER_FLOOR_CERT ?= 75
+COVER_FLOOR_KLL ?= 85
+COVER_FLOOR_WEIGHTED ?= 85
 cover-gate:
-	@set -e; for spec in "./internal/core/:$(COVER_FLOOR_CORE)" "./internal/cert/:$(COVER_FLOOR_CERT)"; do \
+	@set -e; for spec in "./internal/core/:$(COVER_FLOOR_CORE)" "./internal/cert/:$(COVER_FLOOR_CERT)" "./internal/kll/:$(COVER_FLOOR_KLL)" "./internal/weighted/:$(COVER_FLOOR_WEIGHTED)"; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover-gate: no coverage figure for $$pkg"; exit 1; fi; \
@@ -76,17 +82,21 @@ bench:
 BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$
 BENCH_COUNT ?= 6
 
+# The packages whose hot paths the bench gate tracks: the MRL core and the
+# KLL backend (its sub-benchmarks carry a kll/ prefix, so names never clash).
+BENCH_PKGS = ./internal/core/ ./internal/kll/
+
 # bench-json refreshes the committed perf baseline results/BENCH_4.json.
 bench-json:
 	mkdir -p results
-	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) ./internal/core/ \
+	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson parse -o results/BENCH_4.json
 	@echo "wrote results/BENCH_4.json"
 
 # bench-gate re-runs the gated benchmarks and fails on a >15% median ns/op
 # regression against the committed baseline (same check CI runs).
 bench-gate:
-	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) ./internal/core/ > /tmp/bench_new.txt
+	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new.txt
 	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_4.json -new /tmp/bench_new.txt \
 		-match '^Benchmark(Add|AddBatch|Quantiles)/' -max-regress-pct 15
 

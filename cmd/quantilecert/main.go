@@ -1,7 +1,8 @@
 // Command quantilecert runs the guarantee-certification sweep standalone:
-// every collapsing policy x arrival order x estimator stack x front-end is
-// streamed against an exact oracle and both the a-priori epsilon claim and
-// the runtime ErrorBound are asserted, plus the metamorphic properties
+// every collapsing policy x arrival order x estimator stack x backend (MRL,
+// KLL, weighted at unit weight) x front-end is streamed against an exact
+// oracle and both the a-priori epsilon claim (where the backend makes one)
+// and the runtime ErrorBound are asserted, plus the metamorphic properties
 // (permutation-invariant accounting, merge associativity, duplicate and
 // affine equivariance). Failures are shrunk to minimal scenarios and
 // emitted as replayable JSON certificates.
@@ -124,18 +125,24 @@ func runReplay(path string, opts cert.Options, stdout, stderr io.Writer) int {
 	return 1
 }
 
-// runSelftest mutation-tests the certifier: it corrupts one narrow slice of
-// the sweep's estimates and requires the sweep to detect it, shrink it, and
-// produce a replayable certificate. Exit 0 means the certifier works.
+// runSelftest mutation-tests the certifier: it corrupts two narrow slices
+// of the sweep's estimates — the MRL sketch axis and the KLL backend axis —
+// and requires the sweep to detect both, shrink them, and produce
+// certificates that replay to failing outcomes. Exit 0 means the certifier
+// works.
 func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 	opts.Corrupt = func(sc cert.Scenario, estimates []float64) {
-		if sc.Estimator == cert.EstimatorSketch && sc.Mode == "" && !sc.Sampled && sc.Order == "sorted" {
+		if sc.Estimator != cert.EstimatorSketch || sc.Mode != "" || sc.Sampled || sc.Order != "sorted" {
+			return
+		}
+		if sc.Backend == "" || sc.Backend == "kll" {
 			for i := range estimates {
 				estimates[i] += 1e9
 			}
 		}
 	}
-	res, err := cert.Run(opts)
+	c := cert.NewCertifier(opts)
+	res, err := c.Run()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -144,13 +151,28 @@ func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "SELFTEST FAIL: injected estimator bug went undetected")
 		return 1
 	}
+	caught := map[string]bool{}
 	for _, ct := range res.Certificates {
 		if ct.ShrinkSteps == 0 || len(ct.Outcome.Violations) == 0 {
 			fmt.Fprintf(stdout, "SELFTEST FAIL: certificate for %s was not shrunk to a failing reproducer\n", ct.Original.Name())
 			return 1
 		}
+		replayed, err := c.Replay(ct)
+		if err != nil || len(replayed.Violations) == 0 {
+			fmt.Fprintf(stdout, "SELFTEST FAIL: certificate for %s did not replay to a failing outcome (err=%v)\n", ct.Original.Name(), err)
+			return 1
+		}
+		caught[ct.Minimal.Backend] = true
 	}
-	fmt.Fprintf(stdout, "SELFTEST PASS: injected bug detected in %d scenario(s), shrunk to minimal reproducers (e.g. %s)\n",
+	if !caught[""] && !caught["mrl"] {
+		fmt.Fprintln(stdout, "SELFTEST FAIL: injected MRL bug produced no certificate")
+		return 1
+	}
+	if !caught["kll"] {
+		fmt.Fprintln(stdout, "SELFTEST FAIL: injected KLL bound bug produced no certificate")
+		return 1
+	}
+	fmt.Fprintf(stdout, "SELFTEST PASS: injected bugs detected in %d scenario(s) across the mrl and kll axes, shrunk to minimal reproducers (e.g. %s)\n",
 		len(res.Certificates), res.Certificates[0].Minimal.Name())
 	return 0
 }

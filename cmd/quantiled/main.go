@@ -37,6 +37,7 @@ func main() {
 		windows    = flag.Int("windows", 5, "tumbling windows kept per metric (0 disables windowed serving)")
 		perWindow  = flag.Int64("per-window", 1_000_000, "per-window capacity")
 		windowEps  = flag.Float64("window-epsilon", 0, "per-window tolerance (0 = epsilon)")
+		backend    = flag.String("backend", "mrl", "default quantile backend for new metrics: mrl, kll, or weighted")
 		rotate     = flag.Duration("rotate-every", time.Minute, "tumble the window rings on this period (0 = only POST /rotate)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file path (empty disables persistence)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period between checkpoints")
@@ -44,7 +45,7 @@ func main() {
 		walSync    = flag.String("wal-sync", "every-batch", "WAL durability policy: every-batch, interval, or off")
 		walEvery   = flag.Duration("wal-sync-every", time.Second, "flush period under -wal-sync=interval")
 		walSegment = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default)")
-		metrics    = flag.String("metrics", "", "comma-separated metric names to pre-register")
+		metrics    = flag.String("metrics", "", `comma-separated metrics to pre-register, each "name" or "name=backend"`)
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining requests")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
@@ -62,16 +63,25 @@ func main() {
 		Windows:       *windows,
 		PerWindow:     *perWindow,
 		WindowEpsilon: *windowEps,
+		Backend:       *backend,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for _, name := range strings.Split(*metrics, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			if err := reg.Ensure(name); err != nil {
-				log.Fatal(err)
-			}
+	for _, spec := range strings.Split(*metrics, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, metricBackend, hasBackend := strings.Cut(spec, "=")
+		if hasBackend {
+			err = reg.EnsureBackend(name, metricBackend)
+		} else {
+			err = reg.Ensure(name)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 

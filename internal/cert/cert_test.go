@@ -50,6 +50,7 @@ func TestScenariosCoverage(t *testing.T) {
 	policies := map[string]bool{}
 	estimators := map[string]bool{}
 	modes := map[string]bool{}
+	backends := map[string]bool{}
 	sampled := false
 	for _, sc := range scs {
 		policies[sc.Policy] = true
@@ -62,6 +63,16 @@ func TestScenariosCoverage(t *testing.T) {
 		}
 		if sc.Mode != "" {
 			modes[sc.Mode] = true
+		}
+		b := sc.Backend
+		if b == "" {
+			b = "mrl"
+		}
+		backends[b] = true
+		if sc.Backend != "" {
+			if est := sc.Estimator; est == EstimatorConcurrent || est == EstimatorServe {
+				backends[sc.Backend+"/"+est] = true
+			}
 		}
 		if sc.Sampled {
 			sampled = true
@@ -80,6 +91,19 @@ func TestScenariosCoverage(t *testing.T) {
 	for _, m := range []string{ModeBoundPermutation, ModeAssociativity, ModeDuplicates, ModeAffine} {
 		if !modes[m] {
 			t.Errorf("sweep never exercises mode %q", m)
+		}
+	}
+	for _, b := range Backends() {
+		if !backends[b] {
+			t.Errorf("sweep never exercises backend %q", b)
+		}
+	}
+	for _, combo := range []string{
+		"kll/" + EstimatorConcurrent, "kll/" + EstimatorServe,
+		"weighted/" + EstimatorConcurrent, "weighted/" + EstimatorServe,
+	} {
+		if !backends[combo] {
+			t.Errorf("sweep never exercises backend combination %q", combo)
 		}
 	}
 	if !sampled {
@@ -122,6 +146,8 @@ func TestCheckDeterministic(t *testing.T) {
 		{Policy: "new", Order: "shuffled", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42},
 		{Policy: "munro-paterson", Order: "blocked", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42, Estimator: EstimatorConcurrent},
 		{Policy: "new", Order: "sorted", Sampled: true, Delta: 1e-6, Epsilon: 0.1, N: 20000, Phis: sweepPhis(), Seed: 42},
+		{Policy: "new", Order: "shuffled", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42, Backend: "kll"},
+		{Policy: "new", Order: "shuffled", Epsilon: 0.05, N: 1024, Phis: sweepPhis(), Seed: 42, Backend: "weighted", Estimator: EstimatorConcurrent},
 	} {
 		first, err := c.Check(sc)
 		if err != nil {
@@ -152,6 +178,11 @@ func TestCheckRejectsMalformedScenarios(t *testing.T) {
 		{Policy: "munro-paterson", Order: "sorted", Epsilon: 0.1, N: 20000, Phis: phis, Sampled: true, Delta: 1e-6},
 		{Policy: "munro-paterson", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Estimator: EstimatorServe},
 		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Estimator: "abacus"},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Backend: "abacus"},
+		{Policy: "new", Order: "sorted", Epsilon: 0.1, N: 20000, Phis: phis, Backend: "kll", Sampled: true, Delta: 1e-6},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Backend: "kll", Estimator: EstimatorParallel},
+		{Policy: "new", Order: "sorted", Epsilon: 0.05, N: 256, Phis: phis, Backend: "weighted", B: 4, K: 8},
+		{Mode: ModeAffine, Policy: "new", Order: "shuffled", Epsilon: 0.05, N: 256, Phis: phis, Backend: "kll"},
 	}
 	for _, sc := range cases {
 		if _, err := c.Check(sc); err == nil {

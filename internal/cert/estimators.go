@@ -37,6 +37,25 @@ func runEstimator(sc Scenario, data, phis []float64) (runResult, error) {
 	if est == "" {
 		est = EstimatorSketch
 	}
+	backend, err := quantile.ParseBackend(sc.Backend)
+	if err != nil {
+		return runResult{}, err
+	}
+	if backend != quantile.BackendMRL {
+		if sc.Sampled {
+			return runResult{}, fmt.Errorf("cert: the sampling front-end is MRL-specific; backend %q unsupported", sc.Backend)
+		}
+		switch est {
+		case EstimatorSketch:
+			return runBackendSketch(sc, backend, data, phis)
+		case EstimatorConcurrent:
+			return runBackendConcurrent(sc, backend, data, phis)
+		case EstimatorServe:
+			return runServe(sc, data, phis)
+		default:
+			return runResult{}, fmt.Errorf("cert: estimator %q does not support backend %q (the §4.9 snapshot combine is MRL-specific)", est, sc.Backend)
+		}
+	}
 	switch est {
 	case EstimatorSketch:
 		if sc.Sampled {
@@ -181,6 +200,73 @@ func runConcurrent(sc Scenario, data, phis []float64) (runResult, error) {
 	return runResult{values: values, count: con.Count(), bound: bound, epsLimit: epsLimit}, nil
 }
 
+// runBackendSketch drives a non-MRL backend through the quantile.Estimator
+// facade directly. The backend's geometry does not derive from (Epsilon, N)
+// the MRL way, so epsLimit is -1 and the scenario asserts the backend's own
+// runtime bound: KLL's probabilistic a-posteriori bound (deterministic coin
+// schedule under the scenario seed), or the weighted summary's max(g+Δ)/2,
+// which is in rank units because every element arrives at unit weight.
+func runBackendSketch(sc Scenario, backend quantile.Backend, data, phis []float64) (runResult, error) {
+	if _, err := sc.facadePolicy(); err != nil {
+		return runResult{}, err
+	}
+	if sc.B > 0 {
+		return runResult{}, fmt.Errorf("cert: backend %q has no b-buffer geometry; only K applies", sc.Backend)
+	}
+	est, err := quantile.NewEstimator(backend, quantile.Config{
+		Epsilon: sc.Epsilon, K: sc.K, Seed: sc.Seed, Delta: sc.Delta,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	addOne := est.Add
+	if w, ok := est.(*quantile.Weighted); ok {
+		// Exercise the weighted ingest face at unit weight: ranks then
+		// coincide with weight units, so the oracle applies unchanged.
+		addOne = func(v float64) error { return w.AddWeighted(v, 1) }
+	}
+	if err := feedChunks(data, addOne, est.AddBatch); err != nil {
+		return runResult{}, err
+	}
+	values, err := est.Quantiles(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	bound, ok := est.ErrorBound()
+	if !ok {
+		bound = -1
+	}
+	return runResult{values: values, count: est.Count(), bound: bound, epsLimit: -1}, nil
+}
+
+// runBackendConcurrent shards a non-MRL backend behind quantile.Concurrent:
+// each shard owns a private estimator (seeded per shard) and queries combine
+// through clone-and-absorb, whose bound the scenario asserts.
+func runBackendConcurrent(sc Scenario, backend quantile.Backend, data, phis []float64) (runResult, error) {
+	pol, err := sc.facadePolicy()
+	if err != nil {
+		return runResult{}, err
+	}
+	if sc.B > 0 {
+		return runResult{}, fmt.Errorf("cert: backend %q has no b-buffer geometry; only K applies", sc.Backend)
+	}
+	con, err := quantile.NewConcurrent(quantile.ConcurrentConfig{
+		Policy: pol, Shards: sc.shardsOrDefault(), Backend: backend,
+		Epsilon: sc.Epsilon, K: sc.K, Seed: sc.Seed,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := feedChunks(data, con.Add, con.AddBatch); err != nil {
+		return runResult{}, err
+	}
+	values, bound, err := con.QuantilesWithBound(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{values: values, count: con.Count(), bound: bound, epsLimit: -1}, nil
+}
+
 // runParallel partitions the stream across independent core sketches and
 // combines frozen snapshots (§4.9). Each partition is provisioned for
 // epsilon over its own split, so the combined answer is within epsilon*N
@@ -300,10 +386,15 @@ func runServe(sc Scenario, data, phis []float64) (runResult, error) {
 	if sc.B > 0 {
 		return runResult{}, fmt.Errorf("cert: the serve registry sizes its own geometry; explicit b/k unsupported")
 	}
+	backend, err := quantile.ParseBackend(sc.Backend)
+	if err != nil {
+		return runResult{}, err
+	}
 	reg, err := serve.NewRegistry(serve.Config{
 		Epsilon: sc.Epsilon,
 		N:       int64(len(data)),
 		Shards:  sc.shardsOrDefault(),
+		Backend: sc.Backend,
 	})
 	if err != nil {
 		return runResult{}, err
@@ -345,10 +436,14 @@ func runServe(sc Scenario, data, phis []float64) (runResult, error) {
 	if len(resp.Values) != len(phis) {
 		return runResult{}, fmt.Errorf("cert: serve returned %d values for %d phis", len(resp.Values), len(phis))
 	}
+	epsLimit := sc.Epsilon * float64(len(data))
+	if backend != quantile.BackendMRL {
+		epsLimit = -1 // non-MRL metrics claim only their runtime bound
+	}
 	return runResult{
 		values:   resp.Values,
 		count:    resp.Count,
 		bound:    resp.ErrorBound,
-		epsLimit: sc.Epsilon * float64(len(data)),
+		epsLimit: epsLimit,
 	}, nil
 }

@@ -65,6 +65,14 @@ type Scenario struct {
 	Order string `json:"order"`
 	// Estimator is the stack under test (ModeEstimate / ModeDuplicates).
 	Estimator string `json:"estimator,omitempty"`
+	// Backend selects the quantile summary implementation: "" or "mrl" is
+	// the paper's deterministic multi-level summary, "kll" the KLL sketch,
+	// "weighted" the GK-style weighted summary fed at unit weight. Non-MRL
+	// backends do not derive their geometry from (Epsilon, N) the MRL way,
+	// so the a-priori epsilon claim is void and only each backend's own
+	// runtime bound is asserted. Supported with EstimatorSketch,
+	// EstimatorConcurrent and EstimatorServe.
+	Backend string `json:"backend,omitempty"`
 	// Sampled switches EstimatorSketch to the Section 5 sampling
 	// front-end; Delta is then the permitted failure probability.
 	Sampled bool    `json:"sampled,omitempty"`
@@ -87,6 +95,8 @@ type Scenario struct {
 	// explicitly. The a-priori epsilon claim is then void (the geometry no
 	// longer derives from Epsilon), so only the runtime-bound property is
 	// checked; the shrinker uses this to minimise b*k in bound failures.
+	// For the kll backend K alone is the sketch's accuracy parameter (B is
+	// unused); the shrinker pins it from Epsilon and then halves it.
 	B int `json:"b,omitempty"`
 	K int `json:"k,omitempty"`
 }
@@ -102,6 +112,9 @@ func (sc Scenario) Name() string {
 		est = EstimatorSketch
 	}
 	extra := ""
+	if sc.Backend != "" {
+		extra = "/backend=" + sc.Backend
+	}
 	if sc.Sampled {
 		extra = fmt.Sprintf("/sampled(delta=%g)", sc.Delta)
 	}
@@ -195,6 +208,12 @@ func Orders() []string {
 // Policies lists every collapsing policy name the certifier understands.
 func Policies() []string {
 	return []string{"new", "munro-paterson", "alsabti-ranka-singh"}
+}
+
+// Backends lists every quantile backend the certifier understands, the MRL
+// default first.
+func Backends() []string {
+	return []string{"mrl", "kll", "weighted"}
 }
 
 // buildData materialises the dataset a ModeEstimate / ModeDuplicates run
@@ -306,6 +325,16 @@ func (c *Certifier) Check(sc Scenario) (Outcome, error) {
 	switch mode {
 	case ModeEstimate, ModeDuplicates:
 		return c.checkEstimate(sc)
+	}
+	// The metamorphic modes certify MRL-specific machinery (Lemma 5
+	// accounting, snapshot combine); a scenario naming another backend is
+	// malformed, not silently run against the wrong implementation.
+	if b, err := quantile.ParseBackend(sc.Backend); err != nil {
+		return Outcome{}, err
+	} else if b != quantile.BackendMRL {
+		return Outcome{}, fmt.Errorf("cert: mode %q certifies MRL-specific properties; backend %q unsupported", mode, sc.Backend)
+	}
+	switch mode {
 	case ModeBoundPermutation:
 		return c.checkBoundPermutation(sc)
 	case ModeAssociativity:

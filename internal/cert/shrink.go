@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"mrl/internal/kll"
 	"mrl/internal/params"
+	"mrl/quantile"
 )
 
 // maxShrinkSteps caps the shrink loop; every accepted step strictly
@@ -81,6 +83,29 @@ func shrinkCandidates(sc Scenario) []Scenario {
 		cand := sc
 		cand.Parts = sc.Parts / 2
 		out = append(out, cand)
+	}
+
+	// KLL geometry: pin the accuracy parameter the Epsilon derivation would
+	// choose (so the reproducer no longer depends on the derivation), then
+	// halve k toward the sketch's floor. Mirrors the MRL b*k branch below;
+	// serve scenarios are excluded the same way (the registry sizes its own
+	// geometry, so a pinned K would be a no-op in the reproducer).
+	if sc.Backend == "kll" && sc.Estimator != EstimatorServe {
+		if sc.K == 0 {
+			if est, err := quantile.NewKLL(quantile.Config{Epsilon: sc.Epsilon}); err == nil {
+				cand := sc
+				cand.K = est.K()
+				out = append(out, cand)
+			}
+		} else if sc.K/2 >= kll.MinK {
+			cand := sc
+			cand.K = sc.K / 2
+			out = append(out, cand)
+		}
+		return out
+	}
+	if sc.Backend != "" && sc.Backend != "mrl" {
+		return out // weighted has no shrinkable geometry knob
 	}
 
 	// Reduce b*k. For optimizer-sized scenarios first pin the geometry the

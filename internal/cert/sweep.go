@@ -234,6 +234,46 @@ func Scenarios(budget Budget, seed int64) ([]Scenario, error) {
 		})
 	}
 
+	// Alternative backends through the same stream grid: the KLL sketch and
+	// the weighted summary at unit weight. Their geometry does not derive
+	// from (Epsilon, N) the MRL way, so the a-priori claim is void and each
+	// scenario asserts the backend's own runtime bound, directly, behind
+	// the sharded Concurrent front end, and through the serve HTTP path.
+	for _, backend := range Backends()[1:] { // skip "mrl": the blocks above are that axis
+		for _, order := range orders {
+			for _, eps := range epss {
+				for _, n := range ns {
+					scs = append(scs, Scenario{
+						Estimator: EstimatorSketch, Backend: backend,
+						Policy: "new", Order: order,
+						Epsilon: eps, N: n, Phis: phis, Seed: derive(),
+					})
+				}
+			}
+		}
+		for _, order := range []string{"sorted", "shuffled"} {
+			scs = append(scs, Scenario{
+				Estimator: EstimatorConcurrent, Backend: backend,
+				Policy: "new", Order: order,
+				Epsilon: epss[0], N: ns[len(ns)-1], Phis: phis,
+				Shards: 4, Seed: derive(),
+			})
+		}
+		scs = append(scs, Scenario{
+			Estimator: EstimatorServe, Backend: backend,
+			Policy: "new", Order: "shuffled",
+			Epsilon: epss[len(epss)-1], N: ns[len(ns)-1], Phis: phis,
+			Shards: 3, Seed: derive(),
+		})
+		for _, order := range []string{"sorted", "shuffled"} {
+			scs = append(scs, Scenario{
+				Mode: ModeDuplicates, Estimator: EstimatorSketch, Backend: backend,
+				Policy: "new", Order: order,
+				Epsilon: epss[len(epss)-1], N: ns[len(ns)-1], Phis: phis, Seed: derive(),
+			})
+		}
+	}
+
 	// Sampling front-end: epsilon 0.1 keeps the Lemma 7 sample size small;
 	// the stream must exceed it, so N derives from the plan.
 	const sampledEps = 0.1

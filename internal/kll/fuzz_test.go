@@ -1,0 +1,91 @@
+package kll
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzKLLBinaryRoundTrip drives arbitrary bytes through both sides of the
+// snapshot codec. For bytes that decode, the re-encode must be bit-exact
+// and the sketch must stay structurally consistent; for bytes built by
+// feeding the fuzz input as a stream, encode→decode→resume must match the
+// original exactly. Corruption must produce ErrCorrupt, never a panic.
+func FuzzKLLBinaryRoundTrip(f *testing.F) {
+	seed, err := New(8, 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := seed.Add(float64(i % 17)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes: decode either fails with ErrCorrupt or yields a
+		// sketch whose re-encode round-trips and whose queries do not panic.
+		var d Sketch
+		if err := d.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode failed with non-ErrCorrupt error: %v", err)
+			}
+		} else {
+			re, err := d.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-encode of decoded sketch: %v", err)
+			}
+			var d2 Sketch
+			if err := d2.UnmarshalBinary(re); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if d.Count() > 0 {
+				if _, err := d.Quantile(0.5); err != nil {
+					t.Fatalf("query on decoded sketch: %v", err)
+				}
+			}
+		}
+
+		// Interpret the fuzz input as a stream and prove bit-exact resume.
+		s, err := New(4+int(uint(len(data))%32), int64(len(data)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			if err := s.Add(float64(b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Sketch
+		if err := r.UnmarshalBinary(snap); err != nil {
+			t.Fatalf("own snapshot rejected: %v", err)
+		}
+		for i := 0; i < 64; i++ {
+			v := math.Sqrt(float64(i + 1))
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sb, _ := s.MarshalBinary()
+		rb, _ := r.MarshalBinary()
+		if !bytes.Equal(sb, rb) {
+			t.Fatal("restored sketch diverged under further Adds")
+		}
+	})
+}

@@ -1,0 +1,496 @@
+package kll
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mrl/internal/validate"
+)
+
+var testPhis = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+func mustNew(t *testing.T, k int, seed int64) *Sketch {
+	t.Helper()
+	s, err := New(k, seed, 0)
+	if err != nil {
+		t.Fatalf("New(%d): %v", k, err)
+	}
+	return s
+}
+
+func feed(t *testing.T, s *Sketch, data []float64) {
+	t.Helper()
+	// Mix single Adds and batches so both ingest paths see traffic.
+	for i, v := range data {
+		if i >= 7 {
+			if err := s.AddBatch(data[i:]); err != nil {
+				t.Fatalf("AddBatch: %v", err)
+			}
+			return
+		}
+		if err := s.Add(v); err != nil {
+			t.Fatalf("Add(%v): %v", v, err)
+		}
+	}
+}
+
+// score runs the repo-wide oracle convention against the sketch's answers.
+func score(t *testing.T, s *Sketch, data []float64) validate.Report {
+	t.Helper()
+	estimates, err := s.Quantiles(testPhis)
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	rep, err := validate.Evaluate("kll", data, testPhis, estimates)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return rep
+}
+
+func assertWithinBound(t *testing.T, s *Sketch, data []float64) {
+	t.Helper()
+	rep := score(t, s, data)
+	bound := s.ErrorBound()
+	for _, q := range rep.Results {
+		if float64(q.RankError) > bound {
+			t.Errorf("phi=%v: rank error %d exceeds a-posteriori bound %v (n=%d, k=%d)",
+				q.Phi, q.RankError, bound, len(data), s.K())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := New(8, 0, 1.5); err == nil {
+		t.Fatal("delta=1.5 accepted")
+	}
+	s, err := New(8, 0, -1)
+	if err != nil {
+		t.Fatalf("negative delta should default: %v", err)
+	}
+	if s.Delta() != DefaultDelta {
+		t.Fatalf("delta = %v, want default %v", s.Delta(), DefaultDelta)
+	}
+	if s.K() != 8 {
+		t.Fatalf("K = %d", s.K())
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := mustNew(t, 32, 1)
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Quantile on empty: %v", err)
+	}
+	if _, err := s.Min(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Min on empty: %v", err)
+	}
+	if _, err := s.Max(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Max on empty: %v", err)
+	}
+	if _, err := s.Rank(1); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Rank on empty: %v", err)
+	}
+	if got := s.ErrorBound(); got != 0 {
+		t.Fatalf("ErrorBound on empty = %v", got)
+	}
+	if s.Count() != 0 || s.Levels() != 1 || s.Compactions() != 0 {
+		t.Fatalf("empty sketch counters off: count=%d levels=%d compactions=%d",
+			s.Count(), s.Levels(), s.Compactions())
+	}
+}
+
+func TestExactBeforeCompaction(t *testing.T) {
+	s := mustNew(t, 64, 2)
+	data := []float64{5, 1, 4, 2, 3}
+	feed(t, s, data)
+	if s.Compactions() != 0 {
+		t.Fatalf("tiny input compacted: %d", s.Compactions())
+	}
+	if got := s.ErrorBound(); got != 0 {
+		t.Fatalf("bound before compaction = %v, want 0", got)
+	}
+	rep := score(t, s, data)
+	for _, q := range rep.Results {
+		if q.RankError != 0 {
+			t.Errorf("phi=%v exact phase rank error %d", q.Phi, q.RankError)
+		}
+	}
+}
+
+func TestAccuracyWithinBound(t *testing.T) {
+	orders := map[string]func(n int, rng *rand.Rand) []float64{
+		"shuffled": func(n int, rng *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i)
+			}
+			rng.Shuffle(n, func(i, j int) { d[i], d[j] = d[j], d[i] })
+			return d
+		},
+		"sorted": func(n int, _ *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i)
+			}
+			return d
+		},
+		"reversed": func(n int, _ *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(n - i)
+			}
+			return d
+		},
+		"organ-pipe": func(n int, _ *rand.Rand) []float64 {
+			d := make([]float64, 0, n)
+			for i := 0; i < n/2; i++ {
+				d = append(d, float64(i))
+			}
+			for i := n - 1; len(d) < n; i-- {
+				d = append(d, float64(i))
+			}
+			return d
+		},
+		"duplicates": func(n int, rng *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(rng.Intn(7))
+			}
+			return d
+		},
+	}
+	for name, gen := range orders {
+		for _, n := range []int{100, 3000, 50000} {
+			for _, k := range []int{16, 64, 200} {
+				rng := rand.New(rand.NewSource(int64(n*k) + 42))
+				data := gen(n, rng)
+				s := mustNew(t, k, int64(n+k))
+				feed(t, s, data)
+				if s.Count() != int64(n) {
+					t.Fatalf("%s n=%d k=%d: count %d", name, n, k, s.Count())
+				}
+				assertWithinBound(t, s, data)
+			}
+		}
+	}
+}
+
+func TestBoundIsUseful(t *testing.T) {
+	// The whole point of KLL: at large n the a-posteriori bound must be a
+	// small fraction of n, not the useless deterministic n/2.
+	const n = 200000
+	s := mustNew(t, 200, 7)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		if err := s.Add(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound := s.ErrorBound()
+	if bound <= 0 {
+		t.Fatalf("bound = %v after %d compactions", bound, s.Compactions())
+	}
+	if eps := bound / n; eps > 0.05 {
+		t.Fatalf("bound %v is %.3f of n — probabilistic bound not engaged", bound, eps)
+	}
+}
+
+func TestMemoryStaysBounded(t *testing.T) {
+	s := mustNew(t, 64, 3)
+	for i := 0; i < 500000; i++ {
+		if err := s.Add(float64(i % 9973)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget is sum over levels of geometric caps: about k/(1-ratio) = 3k
+	// plus the per-level floor; anything near linear in n is a leak.
+	if mem := s.MemoryElements(); mem > 40*s.K() {
+		t.Fatalf("memory budget %d elements for k=%d", mem, s.K())
+	}
+	if s.Levels() >= snapshotMaxLevels {
+		t.Fatalf("stack height %d hit the format limit", s.Levels())
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	s := mustNew(t, 16, 4)
+	rng := rand.New(rand.NewSource(4))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 30000; i++ {
+		v := rng.NormFloat64() * 1000
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotMin, _ := s.Min()
+	gotMax, _ := s.Max()
+	if gotMin != lo || gotMax != hi {
+		t.Fatalf("min/max = %v/%v, want %v/%v", gotMin, gotMax, lo, hi)
+	}
+	qs, err := s.Quantiles([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != lo || qs[1] != hi {
+		t.Fatalf("phi 0/1 = %v/%v, want exact extremes %v/%v", qs[0], qs[1], lo, hi)
+	}
+}
+
+func TestNaNRejected(t *testing.T) {
+	s := mustNew(t, 16, 5)
+	if err := s.Add(math.NaN()); err == nil {
+		t.Fatal("Add(NaN) accepted")
+	}
+	if err := s.AddBatch([]float64{1, 2, math.NaN(), 4}); err == nil {
+		t.Fatal("AddBatch with NaN accepted")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("rejected batch still landed %d elements", s.Count())
+	}
+}
+
+func TestInvalidPhi(t *testing.T) {
+	s := mustNew(t, 16, 6)
+	if err := s.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantiles([]float64{phi}); err == nil {
+			t.Fatalf("phi=%v accepted", phi)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := mustNew(t, 256, 8)
+	for i := 1; i <= 100; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := s.Rank(40.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r)-40) > s.ErrorBound()+1 {
+		t.Fatalf("Rank(40.5) = %d", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := mustNew(t, 16, 9)
+	for i := 0; i < 10000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Compactions() != 0 || s.Levels() != 1 {
+		t.Fatalf("Reset left count=%d compactions=%d levels=%d",
+			s.Count(), s.Compactions(), s.Levels())
+	}
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("post-Reset query: %v", err)
+	}
+	data := []float64{3, 1, 2}
+	feed(t, s, data)
+	assertWithinBound(t, s, data)
+}
+
+func TestAbsorb(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var all []float64
+	a := mustNew(t, 64, 10)
+	b := mustNew(t, 64, 11)
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64()
+		all = append(all, v)
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 35000; i++ {
+		v := -rng.ExpFloat64()
+		all = append(all, v)
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	beforeB := b.Count()
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != beforeB {
+		t.Fatal("Absorb mutated the source")
+	}
+	if a.Count() != int64(len(all)) {
+		t.Fatalf("combined count %d, want %d", a.Count(), len(all))
+	}
+	if a.Absorbs() != 1 {
+		t.Fatalf("Absorbs = %d", a.Absorbs())
+	}
+	assertWithinBound(t, a, all)
+
+	// Absorbing an empty sketch and absorbing into an empty sketch.
+	empty := mustNew(t, 64, 12)
+	if err := a.Absorb(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Absorb(nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustNew(t, 64, 13)
+	if err := fresh.Absorb(a); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Count() != a.Count() {
+		t.Fatalf("absorb into empty: count %d want %d", fresh.Count(), a.Count())
+	}
+	assertWithinBound(t, fresh, all)
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []byte {
+		s := mustNew(t, 32, 99)
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; i < 12345; i++ {
+			if err := s.Add(rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("same seed and input produced different sketches")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := mustNew(t, 32, 14)
+	for i := 0; i < 5000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Clone()
+	sb, _ := s.MarshalBinary()
+	cb, _ := c.MarshalBinary()
+	if !bytes.Equal(sb, cb) {
+		t.Fatal("clone differs from original")
+	}
+	if err := c.Add(1e9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() == c.Count() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestMarshalRoundTripBitExact(t *testing.T) {
+	s := mustNew(t, 48, 15)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 9001; i++ {
+		if err := s.Add(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("round trip not bit-exact")
+	}
+	// Bit-exact resume: the same further input must keep both identical.
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64() * 100
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, _ := s.MarshalBinary()
+	db, _ := d.MarshalBinary()
+	if !bytes.Equal(sb, db) {
+		t.Fatal("decoded sketch diverged from original under further Adds")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := mustNew(t, 16, 16)
+	for i := 0; i < 2000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), good[4:]...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"zero k":      corruptU32(good, 4, 0),
+		"wrong count": corruptU64(good, 4+4+8+8, 12345),
+	}
+	for name, blob := range cases {
+		var d Sketch
+		if err := d.UnmarshalBinary(blob); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A failed decode must leave the target untouched.
+	var d Sketch
+	if err := d.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := d.MarshalBinary()
+	if err := d.UnmarshalBinary(good[:len(good)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated blob accepted")
+	}
+	after, _ := d.MarshalBinary()
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed decode mutated the sketch")
+	}
+}
+
+func corruptU32(b []byte, off int, v uint32) []byte {
+	c := append([]byte{}, b...)
+	c[off] = byte(v)
+	c[off+1] = byte(v >> 8)
+	c[off+2] = byte(v >> 16)
+	c[off+3] = byte(v >> 24)
+	return c
+}
+
+func corruptU64(b []byte, off int, v uint64) []byte {
+	c := append([]byte{}, b...)
+	for i := 0; i < 8; i++ {
+		c[off+i] = byte(v >> (8 * uint(i)))
+	}
+	return c
+}

@@ -18,45 +18,46 @@ import (
 //
 //	magic "MRLD" | version u8 | walSeq u64 | metricCount u32
 //	per metric (sorted by name):
-//	  nameLen u16 | name | blobCount u32
+//	  nameLen u16 | name | backendLen u8 | backend | blobCount u32
 //	  per blob: blobLen u32 | blob
 //
 // walSeq is the write-ahead-log position the checkpoint covers: every WAL
 // record with sequence number <= walSeq is already folded into the sketches
 // below, so recovery replays only the suffix. Version 1 checkpoints (no
-// walSeq field) are still readable and cover position 0.
+// walSeq field) and version 2 checkpoints (no backend tag; every metric is
+// MRL) are still readable.
 //
-// Each blob is one sealed quantile.Sketch in its MarshalBinary wire format,
-// so a checkpoint is just a named bundle of the library's existing
-// serialised summaries. A metric normally carries one blob (the live shards
-// sealed and merged with any previously restored baseline); it carries more
-// only when a baseline restored from an older checkpoint has a different
-// buffer geometry and cannot be merged — those are kept verbatim and
-// recombined at query time instead.
+// Each blob is one sealed estimator of the metric's backend in its
+// MarshalBinary wire format, so a checkpoint is just a named bundle of the
+// library's existing serialised summaries. A metric normally carries one
+// blob (the live shards sealed and absorbed with any previously restored
+// baseline); it carries more only when a baseline restored from an older
+// checkpoint cannot be absorbed (an MRL geometry mismatch) — those are kept
+// verbatim and recombined at query time instead.
 const (
 	ckptMagic   = "MRLD"
-	ckptVersion = 2
+	ckptVersion = 3
 	// ckptMaxBlob caps one serialised sketch; real sketches are tens of
 	// kilobytes, so this only rejects corrupt headers early.
 	ckptMaxBlob = 1 << 30
 )
 
-// checkpointSketches collapses the metric's durable state into standalone
-// sketches: the live shards sealed into one summary, with every restored
-// baseline merged in when geometries agree (kept as separate blobs when
-// they do not). The live structures are untouched.
-func (m *metric) checkpointSketches() ([]*quantile.Sketch, error) {
+// checkpointEstimators collapses the metric's durable state into standalone
+// estimators: the live shards sealed into one summary, with every restored
+// baseline absorbed in when possible (kept as separate blobs when not).
+// The live structures are untouched.
+func (m *metric) checkpointEstimators() ([]quantile.Estimator, error) {
 	restored := m.snapshotRestored()
 	if m.all.Count() == 0 {
 		return restored, nil
 	}
-	sealed, err := m.all.Seal()
+	sealed, err := m.all.SealEstimator()
 	if err != nil {
 		return nil, fmt.Errorf("serve: sealing %q: %w", m.name, err)
 	}
-	out := []*quantile.Sketch{sealed}
+	out := []quantile.Estimator{sealed}
 	for _, r := range restored {
-		if err := sealed.Merge(r); err != nil {
+		if err := sealed.Absorb(r); err != nil {
 			out = append(out, r)
 		}
 	}
@@ -89,7 +90,7 @@ func (r *Registry) WriteCheckpoint(w io.Writer, walSeq uint64) error {
 		if m == nil {
 			return fmt.Errorf("%w: %q vanished during checkpoint", ErrUnknownMetric, name)
 		}
-		sketches, err := m.checkpointSketches()
+		estimators, err := m.checkpointEstimators()
 		if err != nil {
 			return err
 		}
@@ -99,10 +100,17 @@ func (r *Registry) WriteCheckpoint(w io.Writer, walSeq uint64) error {
 		if _, err := bw.WriteString(name); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sketches))); err != nil {
+		backend := string(m.backend)
+		if err := bw.WriteByte(byte(len(backend))); err != nil {
 			return err
 		}
-		for _, s := range sketches {
+		if _, err := bw.WriteString(backend); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(estimators))); err != nil {
+			return err
+		}
+		for _, s := range estimators {
 			blob, err := s.MarshalBinary()
 			if err != nil {
 				return fmt.Errorf("serve: serialising %q: %w", name, err)
@@ -201,7 +209,8 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 	switch version {
 	case 1:
 		// Pre-WAL format: no position field, covers nothing.
-	case ckptVersion:
+	case 2, ckptVersion:
+		// Version 2 predates backend tags: every metric below is MRL.
 		if err := binary.Read(br, binary.LittleEndian, &walSeq); err != nil {
 			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
@@ -222,15 +231,31 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
 		name := string(nameBytes)
+		// Versions without backend tags carry MRL sketches only.
+		backend := quantile.BackendMRL
+		if version >= 3 {
+			tagLen, err := br.ReadByte()
+			if err != nil {
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			tag := make([]byte, tagLen)
+			if _, err := io.ReadFull(br, tag); err != nil {
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			backend, err = quantile.ParseBackend(string(tag))
+			if err != nil {
+				return 0, fmt.Errorf("serve: restoring %q: %w: %v", name, ErrInvalidBackend, err)
+			}
+		}
 		var nBlobs uint32
 		if err := binary.Read(br, binary.LittleEndian, &nBlobs); err != nil {
 			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
-		m, err := r.getOrCreate(name)
+		m, err := r.getOrCreateBackend(name, backend)
 		if err != nil {
 			return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
 		}
-		sketches := make([]*quantile.Sketch, 0, nBlobs)
+		estimators := make([]quantile.Estimator, 0, nBlobs)
 		for j := uint32(0); j < nBlobs; j++ {
 			var blobLen uint32
 			if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
@@ -243,15 +268,18 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 			if _, err := io.ReadFull(br, blob); err != nil {
 				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 			}
-			s := &quantile.Sketch{}
-			if err := s.UnmarshalBinary(blob); err != nil {
+			e, err := quantile.EmptyEstimator(backend)
+			if err != nil {
 				return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
 			}
-			sketches = append(sketches, s)
+			if err := e.UnmarshalBinary(blob); err != nil {
+				return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
+			}
+			estimators = append(estimators, e)
 		}
 		m.gen.Add(1) // restored baselines change query answers
 		m.resMu.Lock()
-		m.restored = append(m.restored, sketches...)
+		m.restored = append(m.restored, estimators...)
 		m.resMu.Unlock()
 	}
 	// The format is self-delimiting; trailing garbage means the file was

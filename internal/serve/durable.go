@@ -133,13 +133,36 @@ func (s *Server) ingestBatch(name string, vs []float64) error {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	if s.wal != nil {
-		if _, err := s.wal.Append(name, vs); err != nil {
+		if _, err := s.wal.Append(s.reg.walRecordName(name), vs); err != nil {
 			s.health.noteWAL(err)
 			return fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.health.noteWAL(nil)
 	}
 	return s.reg.Ingest(name, vs)
+}
+
+// ingestWeightedBatch is ingestBatch for (value, weight) batches: the record
+// lands in the log under the reserved weighted prefix with values and
+// weights interleaved, so replay can reconstruct the pairs (see
+// Registry.ApplyReplay).
+func (s *Server) ingestWeightedBatch(name string, vs, ws []float64) error {
+	if err := s.reg.ValidateIngestWeighted(name, vs, ws); err != nil {
+		return err
+	}
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wal != nil {
+		if _, err := s.wal.Append(weightedWALPrefix+name, interleaveWeighted(vs, ws)); err != nil {
+			s.health.noteWAL(err)
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.health.noteWAL(nil)
+	}
+	return s.reg.IngestWeighted(name, vs, ws)
 }
 
 // saveCheckpoint cuts an exact checkpoint: the gate's write side excludes

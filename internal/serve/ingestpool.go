@@ -31,11 +31,11 @@ func getIngestScratch() *ingestScratch {
 }
 
 func putIngestScratch(sc *ingestScratch) {
-	if cap(sc.body) > maxPooledBodyBytes || cap(sc.req.Values) > maxPooledValues {
+	if cap(sc.body) > maxPooledBodyBytes || cap(sc.req.Values) > maxPooledValues || cap(sc.req.Weights) > maxPooledValues {
 		return
 	}
 	sc.body = sc.body[:0]
-	sc.req = ingestRequest{Values: sc.req.Values[:0]}
+	sc.req = ingestRequest{Values: sc.req.Values[:0], Weights: sc.req.Weights[:0]}
 	ingestPool.Put(sc)
 }
 

@@ -10,8 +10,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -34,7 +36,34 @@ var (
 	// ErrNaN rejects batches containing NaN before either structure
 	// consumes anything, keeping ingestion all-or-nothing.
 	ErrNaN = errors.New("serve: NaN has no rank and cannot be ingested")
+	// ErrInvalidBackend rejects backend names the quantile package does not
+	// implement, in Config.Backend and in per-request backend selection.
+	ErrInvalidBackend = errors.New("serve: invalid backend")
+	// ErrBackendMismatch is returned when a request names a backend for a
+	// metric that already exists with a different one; a metric's backend is
+	// fixed at creation.
+	ErrBackendMismatch = errors.New("serve: metric already exists with a different backend")
+	// ErrWeightsUnsupported rejects weighted ingest against metrics whose
+	// backend cannot carry per-value weights (only "weighted" can).
+	ErrWeightsUnsupported = errors.New(`serve: per-value weights need the "weighted" backend`)
+	// ErrWeightMismatch rejects weighted batches whose weights slice does
+	// not pair up with the values, or carries non-positive/non-finite
+	// weights.
+	ErrWeightMismatch = errors.New("serve: invalid weights")
 )
+
+// weightedWALPrefix marks write-ahead-log records carrying weighted batches:
+// the record's metric name is the prefix plus the real name and its values
+// interleave [v0, w0, v1, w1, ...]. The prefix starts with a control
+// character, which validateMetricName rejects in real names, so it can never
+// collide with a plain record.
+const weightedWALPrefix = "\x01w:"
+
+// backendWALPrefix marks records whose metric runs a backend other than the
+// registry default: "\x01b:<backend>:<name>" with plain values. Without the
+// tag a replay into a fresh registry would recreate the metric under the
+// default backend and silently change its summary type.
+const backendWALPrefix = "\x01b:"
 
 // Config provisions every metric the registry creates; one registry serves
 // many metrics under a single shared accuracy contract.
@@ -62,6 +91,12 @@ type Config struct {
 	// WindowEpsilon is the per-window rank-error tolerance; 0 means
 	// Epsilon.
 	WindowEpsilon float64
+
+	// Backend selects the quantile summary new metrics run: "mrl" (the
+	// default), "kll" (no a-priori N needed) or "weighted" (per-value
+	// weights). Individual metrics can override it at registration or first
+	// ingest; a metric's backend is fixed once created.
+	Backend string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,8 +109,9 @@ func (c Config) withDefaults() Config {
 // metric is one named stream: a concurrent all-time sketch, an optional
 // windowed ring, restored checkpoint baselines, and ingest accounting.
 type metric struct {
-	name string
-	all  *quantile.Concurrent
+	name    string
+	backend quantile.Backend
+	all     *quantile.Concurrent
 
 	ingested atomic.Int64 // values accepted through Ingest
 	batches  atomic.Int64 // Ingest calls that touched this metric
@@ -85,7 +121,7 @@ type metric struct {
 	ring *window.Ring
 
 	resMu    sync.RWMutex // guards restored
-	restored []*quantile.Sketch
+	restored []quantile.Estimator
 
 	// gen counts mutations (ingest, replay, rotation, restore). Query-cache
 	// entries are stamped with the generation they were computed under and
@@ -114,16 +150,26 @@ type queryCacheEntry struct {
 // diversity.
 const queryCacheMaxEntries = 128
 
-func newMetric(name string, cfg Config) (*metric, error) {
+// metricSeed derives a stable per-metric seed for backends that flip coins
+// (KLL compactions), so a restarted process provisions identical shards.
+func metricSeed(name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+func newMetric(name string, cfg Config, b quantile.Backend) (*metric, error) {
 	all, err := quantile.NewConcurrent(quantile.ConcurrentConfig{
 		Epsilon: cfg.Epsilon,
 		N:       cfg.N,
 		Shards:  cfg.Shards,
+		Backend: b,
+		Seed:    metricSeed(name),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: metric %q: %w", name, err)
 	}
-	m := &metric{name: name, all: all, cache: make(map[queryCacheKey]queryCacheEntry)}
+	m := &metric{name: name, backend: b, all: all, cache: make(map[queryCacheKey]queryCacheEntry)}
 	if cfg.Windows > 0 {
 		ring, err := window.NewRing(cfg.Windows, cfg.WindowEpsilon, cfg.PerWindow)
 		if err != nil {
@@ -137,9 +183,12 @@ func newMetric(name string, cfg Config) (*metric, error) {
 // Registry maps metric names to their serving state. All methods are safe
 // for concurrent use.
 type Registry struct {
-	cfg     Config
-	mu      sync.RWMutex
-	metrics map[string]*metric
+	cfg Config
+	// defaultBackend is Config.Backend parsed once; metrics created without
+	// an explicit backend run it.
+	defaultBackend quantile.Backend
+	mu             sync.RWMutex
+	metrics        map[string]*metric
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
@@ -150,10 +199,14 @@ type Registry struct {
 // construction instead of on the first request.
 func NewRegistry(cfg Config) (*Registry, error) {
 	cfg = cfg.withDefaults()
-	if _, err := newMetric("probe", cfg); err != nil {
+	b, err := quantile.ParseBackend(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidBackend, err)
+	}
+	if _, err := newMetric("probe", cfg, b); err != nil {
 		return nil, err
 	}
-	return &Registry{cfg: cfg, metrics: make(map[string]*metric)}, nil
+	return &Registry{cfg: cfg, defaultBackend: b, metrics: make(map[string]*metric)}, nil
 }
 
 func validateMetricName(name string) error {
@@ -182,15 +235,39 @@ func (r *Registry) getOrCreate(name string) (*metric, error) {
 	if m := r.get(name); m != nil {
 		return m, nil
 	}
+	m, err := r.getOrCreateBackend(name, r.defaultBackend)
+	if errors.Is(err, ErrBackendMismatch) {
+		// Raced with creation under an explicit backend; backend-agnostic
+		// callers take the metric as it exists.
+		if m := r.get(name); m != nil {
+			return m, nil
+		}
+	}
+	return m, err
+}
+
+// getOrCreateBackend returns the named metric, creating it with backend b
+// when it does not exist yet. An existing metric with a different backend is
+// an ErrBackendMismatch: the backend is part of the metric's identity.
+func (r *Registry) getOrCreateBackend(name string, b quantile.Backend) (*metric, error) {
+	if m := r.get(name); m != nil {
+		if m.backend != b {
+			return nil, fmt.Errorf("%w: %q runs %q, requested %q", ErrBackendMismatch, name, m.backend, b)
+		}
+		return m, nil
+	}
 	if err := validateMetricName(name); err != nil {
 		return nil, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m := r.metrics[name]; m != nil {
+		if m.backend != b {
+			return nil, fmt.Errorf("%w: %q runs %q, requested %q", ErrBackendMismatch, name, m.backend, b)
+		}
 		return m, nil
 	}
-	m, err := newMetric(name, r.cfg)
+	m, err := newMetric(name, r.cfg, b)
 	if err != nil {
 		return nil, err
 	}
@@ -199,10 +276,33 @@ func (r *Registry) getOrCreate(name string) (*metric, error) {
 }
 
 // Ensure registers the metric if it does not exist yet, e.g. to pre-create
-// well-known metrics at boot instead of on first ingest.
+// well-known metrics at boot instead of on first ingest. It runs the
+// registry's default backend.
 func (r *Registry) Ensure(name string) error {
 	_, err := r.getOrCreate(name)
 	return err
+}
+
+// EnsureBackend registers the metric with an explicit backend, overriding
+// the registry default. Re-ensuring with the backend the metric already runs
+// is a no-op; naming a different one is ErrBackendMismatch, and an unknown
+// backend name is ErrInvalidBackend.
+func (r *Registry) EnsureBackend(name, backend string) error {
+	b, err := quantile.ParseBackend(backend)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidBackend, err)
+	}
+	_, err = r.getOrCreateBackend(name, b)
+	return err
+}
+
+// Backend reports the backend the named metric runs, or the registry default
+// for metrics that do not exist yet.
+func (r *Registry) Backend(name string) quantile.Backend {
+	if m := r.get(name); m != nil {
+		return m.backend
+	}
+	return r.defaultBackend
 }
 
 // Len returns the number of registered metrics.
@@ -261,6 +361,60 @@ func (r *Registry) Ingest(name string, vs []float64) error {
 	return nil
 }
 
+// validateWeights checks that ws pairs up with vs and every weight is
+// positive and finite (the weighted summary's ingest contract).
+func validateWeights(vs, ws []float64) error {
+	if len(ws) != len(vs) {
+		return fmt.Errorf("%w: %d values but %d weights", ErrWeightMismatch, len(vs), len(ws))
+	}
+	for i, w := range ws {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("%w: weight %v at element %d must be positive and finite", ErrWeightMismatch, w, i)
+		}
+	}
+	return nil
+}
+
+// IngestWeighted routes one batch of (value, weight) pairs into the metric's
+// all-time summary. The metric must run — or, if created here, the registry
+// default must be — the "weighted" backend; anything else is
+// ErrWeightsUnsupported. The tumbling window ring is bypassed: it summarises
+// unweighted recency and has no way to carry weights. All-or-nothing like
+// Ingest.
+func (r *Registry) IngestWeighted(name string, vs, ws []float64) error {
+	if m := r.get(name); m != nil {
+		if m.backend != quantile.BackendWeighted {
+			return fmt.Errorf("%w: metric %q runs %q", ErrWeightsUnsupported, name, m.backend)
+		}
+	} else if r.defaultBackend != quantile.BackendWeighted {
+		// Creation here would pick a backend that cannot take weights;
+		// register the metric with the weighted backend first.
+		return fmt.Errorf("%w: metric %q", ErrWeightsUnsupported, name)
+	}
+	m, err := r.getOrCreateBackend(name, quantile.BackendWeighted)
+	if err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	if err := validateWeights(vs, ws); err != nil {
+		return err
+	}
+	m.batches.Add(1)
+	if len(vs) == 0 {
+		return nil
+	}
+	m.gen.Add(1)
+	if err := m.all.AddWeightedBatch(vs, ws); err != nil {
+		return err
+	}
+	m.ingested.Add(int64(len(vs)))
+	return nil
+}
+
 // ValidateIngest checks a batch without mutating anything: the metric name
 // must be acceptable and the values free of NaN. The WAL-backed ingest path
 // runs it before appending to the log, so a batch that can never be applied
@@ -279,13 +433,79 @@ func (r *Registry) ValidateIngest(name string, vs []float64) error {
 	return nil
 }
 
+// ValidateIngestWeighted is ValidateIngest for weighted batches: the metric
+// must be able to take weights (see IngestWeighted), the values free of NaN,
+// and the weights paired, positive and finite.
+func (r *Registry) ValidateIngestWeighted(name string, vs, ws []float64) error {
+	if m := r.get(name); m != nil {
+		if m.backend != quantile.BackendWeighted {
+			return fmt.Errorf("%w: metric %q runs %q", ErrWeightsUnsupported, name, m.backend)
+		}
+	} else {
+		if err := validateMetricName(name); err != nil {
+			return err
+		}
+		if r.defaultBackend != quantile.BackendWeighted {
+			return fmt.Errorf("%w: metric %q", ErrWeightsUnsupported, name)
+		}
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	return validateWeights(vs, ws)
+}
+
+// walRecordName is the WAL record name for a plain batch into the named
+// metric: the bare name when the metric runs the registry default backend
+// (or does not exist yet), else a backend-tagged name so replay recreates
+// the metric under the same summary type.
+func (r *Registry) walRecordName(name string) string {
+	m := r.get(name)
+	if m == nil || m.backend == r.defaultBackend {
+		return name
+	}
+	return backendWALPrefix + string(m.backend) + ":" + name
+}
+
+// interleaveWeighted renders a weighted batch into the WAL's flat value
+// slice: [v0, w0, v1, w1, ...] under the reserved record-name prefix.
+func interleaveWeighted(vs, ws []float64) []float64 {
+	out := make([]float64, 0, 2*len(vs))
+	for i, v := range vs {
+		out = append(out, v, ws[i])
+	}
+	return out
+}
+
 // ApplyReplay folds one recovered WAL batch into the metric's all-time
 // sketch. Unlike Ingest it bypasses the tumbling window — windows describe
 // "recent" data, which a restart makes stale by definition — and counts the
 // values as replayed rather than ingested, so observability can tell
-// recovered history from this process's own traffic.
+// recovered history from this process's own traffic. Records under the
+// reserved weighted prefix are de-interleaved and re-applied as weighted
+// batches into their (weighted-backed) metric.
 func (r *Registry) ApplyReplay(name string, vs []float64) error {
-	m, err := r.getOrCreate(name)
+	if rest, ok := strings.CutPrefix(name, weightedWALPrefix); ok {
+		return r.applyReplayWeighted(rest, vs)
+	}
+	var m *metric
+	var err error
+	if rest, ok := strings.CutPrefix(name, backendWALPrefix); ok {
+		tag, metricName, found := strings.Cut(rest, ":")
+		if !found {
+			return fmt.Errorf("%w: malformed backend-tagged WAL record %q", ErrInvalidBackend, name)
+		}
+		b, perr := quantile.ParseBackend(tag)
+		if perr != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidBackend, perr)
+		}
+		name = metricName
+		m, err = r.getOrCreateBackend(name, b)
+	} else {
+		m, err = r.getOrCreate(name)
+	}
 	if err != nil {
 		return err
 	}
@@ -302,6 +522,44 @@ func (r *Registry) ApplyReplay(name string, vs []float64) error {
 		return err
 	}
 	m.replayed.Add(int64(len(vs)))
+	return nil
+}
+
+// applyReplayWeighted re-applies one weighted WAL record (interleaved
+// [v, w, ...]). The metric is created with the weighted backend if needed —
+// a weighted record can only exist because the metric was weighted when it
+// was acknowledged.
+func (r *Registry) applyReplayWeighted(name string, interleaved []float64) error {
+	if len(interleaved)%2 != 0 {
+		return fmt.Errorf("%w: odd interleaved length %d replaying %q", ErrWeightMismatch, len(interleaved), name)
+	}
+	n := len(interleaved) / 2
+	vs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vs[i] = interleaved[2*i]
+		ws[i] = interleaved[2*i+1]
+	}
+	m, err := r.getOrCreateBackend(name, quantile.BackendWeighted)
+	if err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+		}
+	}
+	if err := validateWeights(vs, ws); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	m.gen.Add(1)
+	if err := m.all.AddWeightedBatch(vs, ws); err != nil {
+		return err
+	}
+	m.replayed.Add(int64(n))
 	return nil
 }
 
@@ -437,14 +695,14 @@ func (r *Registry) CacheStatus() (hits, misses uint64, entries int) {
 	return r.cacheHits.Load(), r.cacheMisses.Load(), entries
 }
 
-func (m *metric) snapshotRestored() []*quantile.Sketch {
+func (m *metric) snapshotRestored() []quantile.Estimator {
 	m.resMu.RLock()
 	defer m.resMu.RUnlock()
-	return append([]*quantile.Sketch(nil), m.restored...)
+	return append([]quantile.Estimator(nil), m.restored...)
 }
 
 func (m *metric) queryAllTime(phis []float64) (QueryResult, error) {
-	values, bound, count, err := m.all.CombineWith(m.snapshotRestored(), phis)
+	values, bound, count, err := m.all.CombineEstimators(m.snapshotRestored(), phis)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -492,6 +750,8 @@ type WindowStatus struct {
 // GET /metricsz.
 type MetricStatus struct {
 	Name string `json:"name"`
+	// Backend is the quantile summary implementation the metric runs.
+	Backend string `json:"backend"`
 	// Count is the all-time element count, restored checkpoints included.
 	Count int64 `json:"count"`
 	// RestoredCount is the portion of Count carried by restored
@@ -512,10 +772,13 @@ type MetricStatus struct {
 	MemoryElements int64 `json:"memoryElements"`
 	// Collapses, WeightSum and Fallbacks are the pooled collapse counters
 	// across shards (Figure 5 symbols; fallbacks > 0 means the metric was
-	// driven past its provisioned capacity).
+	// driven past its provisioned capacity). MRL-only; zero elsewhere.
 	Collapses int64 `json:"collapses"`
 	WeightSum int64 `json:"weightSum"`
 	Fallbacks int64 `json:"fallbacks"`
+	// Compactions is the backend-neutral summary-reduction counter: MRL
+	// collapses, KLL compactor compactions, weighted COMPRESS passes.
+	Compactions int64 `json:"compactions"`
 	// ErrorBound is the all-time combined rank error certified right now.
 	ErrorBound float64 `json:"errorBound"`
 	// Window is nil when windowed serving is disabled.
@@ -537,13 +800,14 @@ func (r *Registry) Status() []MetricStatus {
 func (m *metric) status() MetricStatus {
 	restored := m.snapshotRestored()
 	var restoredCount, restoredMem int64
-	for _, s := range restored {
-		restoredCount += s.Count()
-		restoredMem += int64(s.MemoryElements())
+	for _, e := range restored {
+		restoredCount += e.Count()
+		restoredMem += int64(e.EstimatorStats().MemoryElements)
 	}
 	st := m.all.Stats()
 	out := MetricStatus{
 		Name:           m.name,
+		Backend:        string(m.backend),
 		Count:          m.all.Count() + restoredCount,
 		RestoredCount:  restoredCount,
 		IngestedValues: m.ingested.Load(),
@@ -555,7 +819,8 @@ func (m *metric) status() MetricStatus {
 		Collapses:      st.Collapses,
 		WeightSum:      st.WeightSum,
 		Fallbacks:      st.Fallbacks,
-		ErrorBound:     m.all.BoundWith(restored),
+		Compactions:    m.all.EstimatorStats().Compactions,
+		ErrorBound:     m.all.BoundEstimators(restored),
 	}
 	if m.ring != nil {
 		m.mu.Lock()

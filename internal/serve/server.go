@@ -298,7 +298,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownMetric), errors.Is(err, quantile.ErrEmpty):
 		return http.StatusNotFound
-	case errors.Is(err, ErrInvalidMetricName), errors.Is(err, ErrWindowingDisabled), errors.Is(err, ErrNaN):
+	case errors.Is(err, ErrInvalidMetricName), errors.Is(err, ErrWindowingDisabled), errors.Is(err, ErrNaN),
+		errors.Is(err, ErrInvalidBackend), errors.Is(err, ErrBackendMismatch),
+		errors.Is(err, ErrWeightsUnsupported), errors.Is(err, ErrWeightMismatch),
+		errors.Is(err, quantile.ErrUnknownBackend):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrDegraded):
 		return http.StatusTooManyRequests
@@ -311,10 +314,15 @@ func statusFor(err error) int {
 
 // ingestRequest is one named batch. POST /ingest accepts a single JSON
 // object or any concatenation of them (NDJSON included): the decoder simply
-// consumes objects until the body ends.
+// consumes objects until the body ends. Backend, when present, registers the
+// metric under that summary implementation (or 400s if it already runs a
+// different one); Weights, when present, pairs up with Values for weighted
+// ingest (metrics on the "weighted" backend only).
 type ingestRequest struct {
-	Metric string    `json:"metric"`
-	Values []float64 `json:"values"`
+	Metric  string    `json:"metric"`
+	Backend string    `json:"backend"`
+	Values  []float64 `json:"values"`
+	Weights []float64 `json:"weights"`
 }
 
 type ingestResponse struct {
@@ -372,13 +380,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sc.req.Metric = ""
+		sc.req.Backend = ""
 		sc.req.Values = sc.req.Values[:0]
+		sc.req.Weights = sc.req.Weights[:0]
 		if err := json.Unmarshal(obj, &sc.req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
 			return
 		}
-		if err := s.ingestBatch(sc.req.Metric, sc.req.Values); err != nil {
-			s.writeIngestError(w, err)
+		if sc.req.Backend != "" {
+			if err := s.reg.EnsureBackend(sc.req.Metric, sc.req.Backend); err != nil {
+				s.writeIngestError(w, err)
+				return
+			}
+		}
+		var ingestErr error
+		if len(sc.req.Weights) > 0 {
+			ingestErr = s.ingestWeightedBatch(sc.req.Metric, sc.req.Values, sc.req.Weights)
+		} else {
+			ingestErr = s.ingestBatch(sc.req.Metric, sc.req.Values)
+		}
+		if ingestErr != nil {
+			s.writeIngestError(w, ingestErr)
 			return
 		}
 		resp.Accepted += int64(len(sc.req.Values))

@@ -1,0 +1,88 @@
+package weighted
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzWeightedBinaryRoundTrip mirrors the KLL fuzz contract: arbitrary
+// bytes either fail to decode with ErrCorrupt or yield a summary that
+// re-encodes bit-exactly and answers queries without panicking; a summary
+// built from the input as a stream must survive encode→decode→resume
+// bit-exactly.
+func FuzzWeightedBinaryRoundTrip(f *testing.F) {
+	seed, err := New(0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := seed.AddWeighted(float64(i%23), 1+float64(i%3)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Summary
+		if err := d.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode failed with non-ErrCorrupt error: %v", err)
+			}
+		} else {
+			re, err := d.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			var d2 Summary
+			if err := d2.UnmarshalBinary(re); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if d.Count() > 0 {
+				if _, err := d.Quantile(0.5); err != nil {
+					t.Fatalf("query on decoded summary: %v", err)
+				}
+			}
+		}
+
+		// The input as a weighted stream: snapshot and resume bit-exactly.
+		s, err := New(0.01 + float64(len(data)%40)/100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range data {
+			if err := s.AddWeighted(float64(b), 1+float64(i%5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Summary
+		if err := r.UnmarshalBinary(snap); err != nil {
+			t.Fatalf("own snapshot rejected: %v", err)
+		}
+		for i := 0; i < 50; i++ {
+			v, w := float64(i*i%97), 1+float64(i%4)
+			if err := s.AddWeighted(v, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AddWeighted(v, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sb, _ := s.MarshalBinary()
+		rb, _ := r.MarshalBinary()
+		if !bytes.Equal(sb, rb) {
+			t.Fatal("restored summary diverged under further Adds")
+		}
+	})
+}

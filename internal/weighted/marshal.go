@@ -1,0 +1,188 @@
+package weighted
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	magic "WGK1" | eps f64 | weight f64 | count i64
+//	compressions i64 | merges i64 | min f64 | max f64
+//	tuples u32 | per tuple: v f64 | g f64 | d f64
+//
+// Pending inserts are flushed before encoding, so the snapshot is exactly
+// the summary: decode followed by re-encode is bit-identical, and a
+// restored summary answers every query the same as the original.
+const snapshotMagic = "WGK1"
+
+// snapshotMaxTuples bounds the decoded summary size against corrupt
+// headers demanding absurd allocations.
+const snapshotMaxTuples = 1 << 28
+
+// ErrCorrupt is wrapped by every decode failure.
+var ErrCorrupt = errors.New("weighted: corrupt snapshot")
+
+// MarshalBinary serialises the summary. It flushes pending inserts first,
+// which changes no answers.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	s.flush()
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	le := binary.LittleEndian
+	var scratch [8]byte
+	putU64 := func(v uint64) { le.PutUint64(scratch[:8], v); buf.Write(scratch[:8]) }
+	putF := func(v float64) { putU64(math.Float64bits(v)) }
+	putF(s.eps)
+	putF(s.weight)
+	putU64(uint64(s.count))
+	putU64(uint64(s.compressions))
+	putU64(uint64(s.merges))
+	putF(s.min)
+	putF(s.max)
+	le.PutUint32(scratch[:4], uint32(len(s.tuples)))
+	buf.Write(scratch[:4])
+	for _, t := range s.tuples {
+		putF(t.v)
+		putF(t.g)
+		putF(t.d)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary replaces s with the decoded summary. Corruption is
+// detected structurally — magic, header ranges, tuple ordering, negative
+// or non-finite weights, and weight conservation (sum of g must equal the
+// recorded total) — and reported wrapping ErrCorrupt, leaving s untouched.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(scratch[:8]), nil
+	}
+	readF := func() (float64, error) {
+		u, err := readU64()
+		return math.Float64frombits(u), err
+	}
+	eps, err := readF()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if !(eps > 0 && eps < 0.5) { // also rejects NaN
+		return fmt.Errorf("%w: epsilon %v outside (0, 0.5)", ErrCorrupt, eps)
+	}
+	weight, err := readF()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
+		return fmt.Errorf("%w: total weight %v", ErrCorrupt, weight)
+	}
+	countU, err := readU64()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	count := int64(countU)
+	if count < 0 {
+		return fmt.Errorf("%w: negative count", ErrCorrupt)
+	}
+	if (count == 0) != (weight == 0) {
+		return fmt.Errorf("%w: count %d with weight %v", ErrCorrupt, count, weight)
+	}
+	comprU, err := readU64()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	mergesU, err := readU64()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if int64(comprU) < 0 || int64(mergesU) < 0 {
+		return fmt.Errorf("%w: negative maintenance counter", ErrCorrupt)
+	}
+	minV, err := readF()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	maxV, err := readF()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if count > 0 && (math.IsNaN(minV) || math.IsNaN(maxV) || minV > maxV) {
+		return fmt.Errorf("%w: min/max out of order", ErrCorrupt)
+	}
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	n32 := le.Uint32(scratch[:4])
+	if n32 > snapshotMaxTuples {
+		return fmt.Errorf("%w: implausible tuple count %d", ErrCorrupt, n32)
+	}
+	if (count == 0) != (n32 == 0) {
+		return fmt.Errorf("%w: %d tuples with count %d", ErrCorrupt, n32, count)
+	}
+	tuples := make([]tuple, int(n32))
+	var sumG float64
+	for i := range tuples {
+		v, err := readF()
+		if err != nil {
+			return fmt.Errorf("%w: truncated tuples", ErrCorrupt)
+		}
+		g, err := readF()
+		if err != nil {
+			return fmt.Errorf("%w: truncated tuples", ErrCorrupt)
+		}
+		d, err := readF()
+		if err != nil {
+			return fmt.Errorf("%w: truncated tuples", ErrCorrupt)
+		}
+		if math.IsNaN(v) || v < minV || v > maxV {
+			return fmt.Errorf("%w: tuple value outside min/max", ErrCorrupt)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+			return fmt.Errorf("%w: tuple weight %v", ErrCorrupt, g)
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return fmt.Errorf("%w: tuple slack %v", ErrCorrupt, d)
+		}
+		if i > 0 && v < tuples[i-1].v {
+			return fmt.Errorf("%w: tuples out of order", ErrCorrupt)
+		}
+		tuples[i] = tuple{v: v, g: g, d: d}
+		sumG += g
+	}
+	if n32 > 0 {
+		if tuples[0].v != minV || tuples[len(tuples)-1].v != maxV {
+			return fmt.Errorf("%w: extreme tuples disagree with min/max", ErrCorrupt)
+		}
+		// Weight conservation, with float tolerance: the g's were summed in
+		// a different order than the ingest that produced weight.
+		if diff := math.Abs(sumG - weight); diff > 1e-6*math.Max(1, math.Abs(weight)) {
+			return fmt.Errorf("%w: tuple weights sum to %v, total is %v", ErrCorrupt, sumG, weight)
+		}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	s.eps = eps
+	s.weight = weight
+	s.count = count
+	s.compressions = int64(comprU)
+	s.merges = int64(mergesU)
+	s.min, s.max = minV, maxV
+	s.tuples = tuples
+	s.buf = s.buf[:0]
+	return nil
+}

@@ -1,0 +1,438 @@
+// Package weighted implements a Greenwald–Khanna-style weighted quantile
+// summary: a sorted list of tuples (v, g, Δ) where g is the total weight
+// the tuple accounts for and Δ bounds the uncertainty of its rank. The
+// rank of tuple i lies in [rmin, rmin+Δ] with rmin the sum of g over
+// tuples up to i. Ingest carries a per-value weight, which MRL and KLL
+// cannot do — this is the backend for sampled or importance-weighted
+// streams (PAPERS.md, "Space-Efficient Online Computation of Quantile
+// Summaries").
+//
+// The maintenance discipline is MERGE/COMPRESS: inserts buffer and flush
+// in one sorted linear pass; COMPRESS then folds a tuple into its right
+// neighbour whenever the combined uncertainty g_i + g_{i+1} + Δ_{i+1}
+// stays within 2εW, never touching the first or last tuple so the exact
+// extremes survive. The a-posteriori rank-error bound is max(g+Δ)/2 over
+// the summary — directly measurable, no a-priori stream length needed.
+package weighted
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by queries against a summary with no input.
+var ErrEmpty = errors.New("weighted: empty summary")
+
+// DefaultEpsilon sizes the summary when the caller does not choose: the
+// target rank error is Epsilon times the total ingested weight.
+const DefaultEpsilon = 0.01
+
+// defaultBufferCap is how many pending inserts accumulate before a flush.
+// Flushing is O(buffer log buffer + summary), so a few hundred amortises
+// the linear pass without holding much unsummarised data.
+const defaultBufferCap = 512
+
+// tuple is one summary entry: value v covers weight g, with rank slack d
+// (the paper's Δ).
+type tuple struct {
+	v float64
+	g float64
+	d float64
+}
+
+// Summary is a weighted quantile summary. It is not safe for concurrent
+// use.
+type Summary struct {
+	eps    float64
+	tuples []tuple
+	buf    []tuple // pending inserts, unsorted
+
+	weight float64 // total ingested weight W
+	count  int64   // number of Add/AddWeighted calls (elements, not weight)
+	min    float64
+	max    float64
+
+	compressions int64
+	merges       int64
+}
+
+// New returns a summary targeting rank error eps*W. eps <= 0 selects
+// DefaultEpsilon; eps must be below 1/2.
+func New(eps float64) (*Summary, error) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if math.IsNaN(eps) || eps >= 0.5 {
+		return nil, fmt.Errorf("weighted: epsilon %v outside (0, 0.5)", eps)
+	}
+	return &Summary{eps: eps}, nil
+}
+
+// Epsilon returns the compression target.
+func (s *Summary) Epsilon() float64 { return s.eps }
+
+// Count returns the number of ingested elements (each Add counts once,
+// whatever its weight).
+func (s *Summary) Count() int64 { return s.count }
+
+// Weight returns the total ingested weight W; ranks run over [1, W].
+func (s *Summary) Weight() float64 {
+	return s.weight
+}
+
+// Tuples returns the current summary size (pending inserts included).
+func (s *Summary) Tuples() int { return len(s.tuples) + len(s.buf) }
+
+// MemoryElements reports the retained footprint in elements.
+func (s *Summary) MemoryElements() int { return s.Tuples() }
+
+// Compressions returns how many COMPRESS passes have run.
+func (s *Summary) Compressions() int64 { return s.compressions }
+
+// Merges returns how many summaries were folded in via Merge.
+func (s *Summary) Merges() int64 { return s.merges }
+
+// Min returns the exact minimum ingested value.
+func (s *Summary) Min() (float64, error) {
+	if s.count == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	return s.min, nil
+}
+
+// Max returns the exact maximum ingested value.
+func (s *Summary) Max() (float64, error) {
+	if s.count == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	return s.max, nil
+}
+
+// Add ingests one element with unit weight.
+func (s *Summary) Add(v float64) error { return s.AddWeighted(v, 1) }
+
+// AddWeighted ingests one element carrying weight w. Weights must be
+// positive and finite; NaN values are rejected.
+func (s *Summary) AddWeighted(v, w float64) error {
+	if math.IsNaN(v) {
+		return errors.New("weighted: NaN has no rank and cannot be added")
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+		return fmt.Errorf("weighted: weight %v not positive finite", w)
+	}
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.buf = append(s.buf, tuple{v: v, g: w})
+	s.weight += w
+	s.count++
+	if len(s.buf) >= defaultBufferCap {
+		s.flush()
+	}
+	return nil
+}
+
+// AddBatch ingests a batch of unit-weight elements, all-or-nothing on NaN.
+func (s *Summary) AddBatch(vs []float64) error {
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("weighted: element %d: NaN has no rank and cannot be added", i)
+		}
+	}
+	for _, v := range vs {
+		if err := s.AddWeighted(v, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddWeightedBatch ingests parallel value/weight slices, all-or-nothing on
+// invalid input.
+func (s *Summary) AddWeightedBatch(vs, ws []float64) error {
+	if len(vs) != len(ws) {
+		return fmt.Errorf("weighted: %d values but %d weights", len(vs), len(ws))
+	}
+	for i := range vs {
+		if math.IsNaN(vs[i]) {
+			return fmt.Errorf("weighted: element %d: NaN has no rank and cannot be added", i)
+		}
+		if math.IsNaN(ws[i]) || math.IsInf(ws[i], 0) || ws[i] <= 0 {
+			return fmt.Errorf("weighted: element %d: weight %v not positive finite", i, ws[i])
+		}
+	}
+	for i := range vs {
+		if err := s.AddWeighted(vs[i], ws[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush sorts the pending buffer and merges it into the summary in one
+// linear pass, then compresses. A tuple inserted before existing tuple
+// succ gets Δ = g_succ + Δ_succ — a conservative slack that upper-bounds
+// how far its true rank can sit inside the neighbourhood it joined.
+// Inserts at either end get Δ = 0, keeping the extremes exact.
+func (s *Summary) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Slice(s.buf, func(i, j int) bool { return s.buf[i].v < s.buf[j].v })
+	merged := make([]tuple, 0, len(s.tuples)+len(s.buf))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(s.buf) {
+		if j >= len(s.buf) {
+			merged = append(merged, s.tuples[i])
+			i++
+			continue
+		}
+		if i >= len(s.tuples) {
+			// Past the last existing tuple: rank is exact at the tail.
+			merged = append(merged, tuple{v: s.buf[j].v, g: s.buf[j].g})
+			j++
+			continue
+		}
+		if s.tuples[i].v <= s.buf[j].v {
+			merged = append(merged, s.tuples[i])
+			i++
+			continue
+		}
+		nt := tuple{v: s.buf[j].v, g: s.buf[j].g}
+		if len(merged) > 0 { // not the new minimum
+			succ := s.tuples[i]
+			nt.d = succ.g + succ.d
+		}
+		merged = append(merged, nt)
+		j++
+	}
+	s.tuples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress folds tuple i into tuple i+1 (right to left) whenever the
+// merged uncertainty g_i + g_{i+1} + Δ_{i+1} stays within 2εW. The first
+// and last tuples are never folded, so min and max stay exact in the
+// summary itself.
+func (s *Summary) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	s.compressions++
+	limit := 2 * s.eps * s.weight
+	out := s.tuples
+	w := len(out) - 1 // write cursor, filled right to left
+	for i := len(out) - 2; i >= 1; i-- {
+		if out[i].g+out[w].g+out[w].d <= limit {
+			out[w].g += out[i].g
+		} else {
+			w--
+			out[w] = out[i]
+		}
+	}
+	w--
+	out[w] = out[0]
+	s.tuples = append(s.tuples[:0], out[w:]...)
+}
+
+// Bound returns the current a-posteriori rank-error bound e = max(g+Δ)/2
+// over the summary (pending inserts flushed first): every reported
+// quantile's rank is within e of exact, in weight units.
+func (s *Summary) Bound() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	s.flush()
+	var worst float64
+	for _, t := range s.tuples {
+		if u := t.g + t.d; u > worst {
+			worst = u
+		}
+	}
+	return worst / 2
+}
+
+// ErrorBound reports Bound as a fraction of the total weight, matching the
+// epsilon convention of the rest of the repo.
+func (s *Summary) ErrorBound() float64 {
+	if s.count == 0 || s.weight == 0 {
+		return 0
+	}
+	return s.Bound() / s.weight
+}
+
+// Quantile returns an approximation of the phi-quantile by weight.
+func (s *Summary) Quantile(phi float64) (float64, error) {
+	vs, err := s.Quantiles([]float64{phi})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return vs[0], nil
+}
+
+// Quantiles answers many quantiles in one pass; the result is parallel to
+// phis. The answer for phi is a value whose weighted rank is within
+// Bound() of ceil(phi*W) clamped to [1, W].
+func (s *Summary) Quantiles(phis []float64) ([]float64, error) {
+	if s.count == 0 {
+		return nil, ErrEmpty
+	}
+	for _, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, fmt.Errorf("weighted: quantile fraction %v outside [0,1]", phi)
+		}
+	}
+	s.flush()
+	e := s.Bound()
+	out := make([]float64, len(phis))
+	for i, phi := range phis {
+		out[i] = s.query(phi, e)
+	}
+	return out, nil
+}
+
+// query finds the last tuple whose rmax stays within target+e; its rmin is
+// then provably above target-e, so the value's rank is within e of target.
+// Targets near the ends fall back to the exact extremes.
+func (s *Summary) query(phi, e float64) float64 {
+	target := math.Ceil(phi * s.weight)
+	if target < 1 {
+		target = 1
+	}
+	if target > s.weight {
+		target = s.weight
+	}
+	if target-e <= 1 {
+		return s.min
+	}
+	if target+e >= s.weight {
+		return s.max
+	}
+	var rmin float64
+	best := s.tuples[0].v
+	for _, t := range s.tuples {
+		rmin += t.g
+		if rmin+t.d <= target+e {
+			best = t.v
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// Rank estimates the total weight of ingested elements <= v.
+func (s *Summary) Rank(v float64) (float64, error) {
+	if s.count == 0 {
+		return 0, ErrEmpty
+	}
+	s.flush()
+	var rmin float64
+	for _, t := range s.tuples {
+		if t.v > v {
+			break
+		}
+		rmin += t.g
+	}
+	return rmin, nil
+}
+
+// Reset discards all state, keeping epsilon.
+func (s *Summary) Reset() {
+	s.tuples = s.tuples[:0]
+	s.buf = s.buf[:0]
+	s.weight = 0
+	s.count = 0
+	s.min, s.max = 0, 0
+	s.compressions = 0
+	s.merges = 0
+}
+
+// Merge folds other into s, leaving other untouched. The two sorted tuple
+// lists interleave; a tuple of one list takes extra slack from its
+// successor in the other list (Δ' = Δ + g_succ + Δ_succ), which preserves
+// both summaries' rank guarantees over the union. The result compresses
+// under the combined weight.
+func (s *Summary) Merge(other *Summary) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	s.flush()
+	// Work on a flushed snapshot of other without mutating it.
+	ot := other.flushedTuples()
+	if s.count == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	a, b := s.tuples, ot
+	merged := make([]tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var take tuple
+		var fromA bool
+		switch {
+		case j >= len(b):
+			take, fromA = a[i], true
+		case i >= len(a):
+			take, fromA = b[j], false
+		case a[i].v <= b[j].v:
+			take, fromA = a[i], true
+		default:
+			take, fromA = b[j], false
+		}
+		if fromA {
+			if j < len(b) {
+				take.d += b[j].g + b[j].d
+			}
+			i++
+		} else {
+			if i < len(a) {
+				take.d += a[i].g + a[i].d
+			}
+			j++
+		}
+		merged = append(merged, take)
+	}
+	s.tuples = merged
+	s.weight += other.weight
+	s.count += other.count
+	s.compressions += other.compressions
+	s.merges += other.merges + 1
+	s.compress()
+	return nil
+}
+
+// flushedTuples returns the summary's tuples with pending inserts merged,
+// without mutating the receiver when a buffer is pending.
+func (s *Summary) flushedTuples() []tuple {
+	if len(s.buf) == 0 {
+		return s.tuples
+	}
+	c := s.Clone()
+	c.flush()
+	return c.tuples
+}
+
+// Clone deep-copies the summary.
+func (s *Summary) Clone() *Summary {
+	c := &Summary{
+		eps: s.eps, weight: s.weight, count: s.count,
+		min: s.min, max: s.max,
+		compressions: s.compressions, merges: s.merges,
+	}
+	c.tuples = append([]tuple(nil), s.tuples...)
+	c.buf = append([]tuple(nil), s.buf...)
+	return c
+}

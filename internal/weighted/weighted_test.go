@@ -1,0 +1,463 @@
+package weighted
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mrl/internal/validate"
+)
+
+var testPhis = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+func mustNew(t *testing.T, eps float64) *Summary {
+	t.Helper()
+	s, err := New(eps)
+	if err != nil {
+		t.Fatalf("New(%v): %v", eps, err)
+	}
+	return s
+}
+
+// assertWithinOwnBound scores the summary against the repo oracle for
+// unit-weight data and checks every rank error against the summary's own
+// a-posteriori bound.
+func assertWithinOwnBound(t *testing.T, s *Summary, data []float64) {
+	t.Helper()
+	estimates, err := s.Quantiles(testPhis)
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	rep, err := validate.Evaluate("weighted", data, testPhis, estimates)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	bound := s.Bound()
+	for _, q := range rep.Results {
+		if float64(q.RankError) > bound {
+			t.Errorf("phi=%v: rank error %d exceeds bound %v (n=%d, eps=%v)",
+				q.Phi, q.RankError, bound, len(data), s.Epsilon())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0.7); err == nil {
+		t.Fatal("eps=0.7 accepted")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Fatal("NaN eps accepted")
+	}
+	s := mustNew(t, 0)
+	if s.Epsilon() != DefaultEpsilon {
+		t.Fatalf("eps = %v, want default", s.Epsilon())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := mustNew(t, 0.01)
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Quantile on empty: %v", err)
+	}
+	if _, err := s.Min(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Min on empty: %v", err)
+	}
+	if _, err := s.Max(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Max on empty: %v", err)
+	}
+	if _, err := s.Rank(0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Rank on empty: %v", err)
+	}
+	if s.Bound() != 0 || s.ErrorBound() != 0 {
+		t.Fatal("bounds on empty summary not zero")
+	}
+}
+
+func TestUnitWeightAccuracy(t *testing.T) {
+	orders := map[string]func(n int, rng *rand.Rand) []float64{
+		"shuffled": func(n int, rng *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i)
+			}
+			rng.Shuffle(n, func(i, j int) { d[i], d[j] = d[j], d[i] })
+			return d
+		},
+		"sorted": func(n int, _ *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i)
+			}
+			return d
+		},
+		"reversed": func(n int, _ *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(n - i)
+			}
+			return d
+		},
+		"duplicates": func(n int, rng *rand.Rand) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(rng.Intn(5))
+			}
+			return d
+		},
+	}
+	for name, gen := range orders {
+		for _, n := range []int{50, 2000, 30000} {
+			for _, eps := range []float64{0.001, 0.01, 0.1} {
+				rng := rand.New(rand.NewSource(int64(n) + int64(eps*1e4)))
+				data := gen(n, rng)
+				s := mustNew(t, eps)
+				if err := s.AddBatch(data); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if s.Count() != int64(n) {
+					t.Fatalf("%s: count %d want %d", name, s.Count(), n)
+				}
+				if w := s.Weight(); w != float64(n) {
+					t.Fatalf("%s: weight %v want %d", name, w, n)
+				}
+				assertWithinOwnBound(t, s, data)
+				// The compression target must actually hold, not just the
+				// a-posteriori bound: e <= eps*W by construction, up to the
+				// half-element discretisation floor (an uncompressed unit
+				// tuple still carries g+d >= 1).
+				if b := s.ErrorBound(); b > eps+0.5/float64(n)+1e-12 {
+					t.Errorf("%s n=%d: observed eps %v exceeds target %v", name, n, b, eps)
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryStaysSmall(t *testing.T) {
+	s := mustNew(t, 0.01)
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if err := s.Add(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// GK keeps O(1/eps log(eps W)) tuples; 100x the 1/eps target is far
+	// beyond any correct implementation and catches compression not firing.
+	if s.Tuples() > 100*int(1/s.Epsilon()) {
+		t.Fatalf("summary holds %d tuples for eps=%v, n=%d", s.Tuples(), s.Epsilon(), n)
+	}
+	if s.Compressions() == 0 {
+		t.Fatal("no compression pass ever ran")
+	}
+}
+
+// TestWeightedMatchesRepetition is the core semantic check: ingesting
+// (v, w) with integer w must answer like ingesting v repeated w times.
+func TestWeightedMatchesRepetition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	weighted := mustNew(t, 0.01)
+	var expanded []float64
+	for i := 0; i < 4000; i++ {
+		v := rng.NormFloat64() * 50
+		w := float64(1 + rng.Intn(9))
+		if err := weighted.AddWeighted(v, w); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < int(w); j++ {
+			expanded = append(expanded, v)
+		}
+	}
+	if got, want := weighted.Weight(), float64(len(expanded)); got != want {
+		t.Fatalf("weight %v, want %v", got, want)
+	}
+	estimates, err := weighted.Quantiles(testPhis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := validate.Evaluate("weighted-vs-repetition", expanded, testPhis, estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := weighted.Bound()
+	for _, q := range rep.Results {
+		if float64(q.RankError) > bound {
+			t.Errorf("phi=%v: rank error %d vs expanded stream exceeds bound %v",
+				q.Phi, q.RankError, bound)
+		}
+	}
+}
+
+func TestFractionalWeights(t *testing.T) {
+	s := mustNew(t, 0.05)
+	rng := rand.New(rand.NewSource(5))
+	type wv struct{ v, w float64 }
+	var items []wv
+	var total float64
+	for i := 0; i < 10000; i++ {
+		it := wv{v: rng.Float64() * 100, w: 0.1 + rng.Float64()}
+		items = append(items, it)
+		total += it.w
+		if err := s.AddWeighted(it.v, it.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(s.Weight()-total) > 1e-6*total {
+		t.Fatalf("weight %v, want %v", s.Weight(), total)
+	}
+	// Exact weighted oracle: sort by value, walk cumulative weight.
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cum, exactMed float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= total/2 {
+			exactMed = it.v
+			break
+		}
+	}
+	// The answer's weighted rank must be within the bound of the target.
+	r, err := s.Rank(med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-total/2) > s.Bound()+1 {
+		t.Fatalf("median %v (rank %v) too far from target %v; exact median %v",
+			med, r, total/2, exactMed)
+	}
+}
+
+func TestInvalidInput(t *testing.T) {
+	s := mustNew(t, 0.01)
+	if err := s.Add(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := s.AddWeighted(1, w); err == nil {
+			t.Fatalf("weight %v accepted", w)
+		}
+	}
+	if err := s.AddBatch([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("batch with NaN accepted")
+	}
+	if err := s.AddWeightedBatch([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	if err := s.AddWeightedBatch([]float64{1, 2}, []float64{1, -3}); err == nil {
+		t.Fatal("negative weight in batch accepted")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("rejected input landed: count %d", s.Count())
+	}
+	if err := s.AddWeightedBatch([]float64{1, 2}, []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 || s.Weight() != 4 {
+		t.Fatalf("count=%d weight=%v", s.Count(), s.Weight())
+	}
+	if _, err := s.Quantiles([]float64{1.5}); err == nil {
+		t.Fatal("phi=1.5 accepted")
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	s := mustNew(t, 0.1)
+	rng := rand.New(rand.NewSource(6))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 50000; i++ {
+		v := rng.NormFloat64() * 1e6
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		if err := s.AddWeighted(v, 1+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs, err := s.Quantiles([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != lo || qs[1] != hi {
+		t.Fatalf("extremes %v/%v, want %v/%v", qs[0], qs[1], lo, hi)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := mustNew(t, 0.01)
+	for i := 0; i < 5000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Weight() != 0 || s.Tuples() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("post-Reset query: %v", err)
+	}
+	data := []float64{2, 1, 3}
+	if err := s.AddBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	assertWithinOwnBound(t, s, data)
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := mustNew(t, 0.01)
+	b := mustNew(t, 0.01)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 100
+		all = append(all, v)
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30000; i++ {
+		v := 50 + rng.Float64()*100
+		all = append(all, v)
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bCount := b.Count()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != bCount {
+		t.Fatal("Merge mutated the source")
+	}
+	if a.Count() != int64(len(all)) {
+		t.Fatalf("merged count %d, want %d", a.Count(), len(all))
+	}
+	if a.Merges() != 1 {
+		t.Fatalf("Merges = %d", a.Merges())
+	}
+	assertWithinOwnBound(t, a, all)
+
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(mustNew(t, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustNew(t, 0.01)
+	if err := fresh.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Count() != a.Count() {
+		t.Fatal("merge into empty lost data")
+	}
+	assertWithinOwnBound(t, fresh, all)
+}
+
+func TestClone(t *testing.T) {
+	s := mustNew(t, 0.01)
+	for i := 0; i < 1000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Clone()
+	sb, _ := s.MarshalBinary()
+	cb, _ := c.MarshalBinary()
+	if !bytes.Equal(sb, cb) {
+		t.Fatal("clone differs")
+	}
+	if err := c.Add(-5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() == c.Count() {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := mustNew(t, 0.02)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 25000; i++ {
+		if err := s.AddWeighted(rng.NormFloat64(), 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Summary
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("round trip not bit-exact")
+	}
+	// Both continue identically under further weighted Adds.
+	for i := 0; i < 3000; i++ {
+		v, w := rng.Float64(), 1+rng.Float64()
+		if err := s.AddWeighted(v, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddWeighted(v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, _ := s.MarshalBinary()
+	db, _ := d.MarshalBinary()
+	if !bytes.Equal(sb, db) {
+		t.Fatal("restored summary diverged under further Adds")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := mustNew(t, 0.01)
+	for i := 0; i < 3000; i++ {
+		if err := s.Add(float64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int) []byte {
+		c := append([]byte{}, good...)
+		c[off] ^= 0xff
+		return c
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": flip(0),
+		"truncated": good[:len(good)-5],
+		"trailing":  append(append([]byte{}, good...), 1, 2),
+		"bad eps":   flip(4 + 7),
+	}
+	for name, blob := range cases {
+		var d Summary
+		if err := d.UnmarshalBinary(blob); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	var d Summary
+	if err := d.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := d.MarshalBinary()
+	if err := d.UnmarshalBinary(good[:8]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated blob accepted")
+	}
+	after, _ := d.MarshalBinary()
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed decode mutated the summary")
+	}
+}

@@ -38,15 +38,28 @@ type ConcurrentConfig struct {
 	// shard directly as B buffers of K elements (expert use; Epsilon and N
 	// are then ignored).
 	B, K int
+
+	// Backend selects the summary implementation every shard runs:
+	// BackendMRL (default), BackendKLL or BackendWeighted. Non-MRL shards
+	// are provisioned via NewEstimator from (Epsilon, K, Seed); N and
+	// Policy apply only to MRL.
+	Backend Backend
+
+	// Seed drives per-shard randomness for backends that use it (KLL's
+	// compaction coins); shard i derives its own stream from Seed+i.
+	Seed int64
 }
 
-// concurrentShard pairs one private core sketch with its own lock. The
-// padding keeps neighbouring shard headers on distinct cache lines so that
-// writers hammering different shards do not false-share.
+// concurrentShard pairs one private summary with its own lock. MRL shards
+// hold a core sketch in sk (the zero-allocation hot path); other backends
+// hold their estimator in est, with sk nil. The padding keeps neighbouring
+// shard headers on distinct cache lines so that writers hammering
+// different shards do not false-share.
 type concurrentShard struct {
-	mu sync.Mutex
-	sk *core.Sketch
-	_  [40]byte
+	mu  sync.Mutex
+	sk  *core.Sketch
+	est Estimator
+	_   [40]byte
 }
 
 // Concurrent is a thread-safe, sharded ingestion front end: values are
@@ -67,6 +80,7 @@ type Concurrent struct {
 	shards  []*concurrentShard
 	next    atomic.Uint64 // round-robin routing cursor
 	policy  Policy
+	backend Backend
 	perDesc string // provisioning summary for Describe
 }
 
@@ -89,6 +103,32 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	}
 	if p < 1 {
 		return nil, fmt.Errorf("quantile: shard count %d must be positive", cfg.Shards)
+	}
+
+	backend, err := ParseBackend(string(cfg.Backend))
+	if err != nil {
+		return nil, err
+	}
+	if backend != BackendMRL {
+		// Non-MRL shards are provisioned directly by their backend: no
+		// per-shard N split (KLL does not need one and weighted sizes
+		// itself from ingested weight). Each shard's a-posteriori bound
+		// adds into the combined bound at query time.
+		shards := make([]*concurrentShard, p)
+		for i := range shards {
+			shardCfg := Config{Epsilon: cfg.Epsilon, K: cfg.K, Seed: cfg.Seed + int64(i)}
+			est, err := NewEstimator(backend, shardCfg)
+			if err != nil {
+				return nil, err
+			}
+			shards[i] = &concurrentShard{est: est}
+		}
+		return &Concurrent{
+			shards:  shards,
+			policy:  cfg.Policy,
+			backend: backend,
+			perDesc: shards[0].est.Describe(),
+		}, nil
 	}
 
 	var mk func() (*core.Sketch, error)
@@ -133,7 +173,7 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		}
 		shards[i] = &concurrentShard{sk: sk}
 	}
-	return &Concurrent{shards: shards, policy: cfg.Policy, perDesc: perDesc}, nil
+	return &Concurrent{shards: shards, policy: cfg.Policy, backend: BackendMRL, perDesc: perDesc}, nil
 }
 
 // acquire returns a locked shard, preferring an uncontended one: starting
@@ -168,7 +208,12 @@ func (c *Concurrent) acquire() *concurrentShard {
 // Add consumes one stream element. NaN is rejected. Safe for concurrent use.
 func (c *Concurrent) Add(v float64) error {
 	sh := c.acquire()
-	err := sh.sk.Add(v)
+	var err error
+	if sh.sk != nil {
+		err = sh.sk.Add(v)
+	} else {
+		err = sh.est.Add(v)
+	}
 	sh.mu.Unlock()
 	return err
 }
@@ -207,7 +252,12 @@ func (c *Concurrent) AddBatch(vs []float64) error {
 			sz++
 		}
 		sh := c.acquire()
-		err := sh.sk.AddBatch(vs[pos : pos+sz])
+		var err error
+		if sh.sk != nil {
+			err = sh.sk.AddBatch(vs[pos : pos+sz])
+		} else {
+			err = sh.est.AddBatch(vs[pos : pos+sz])
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return err
@@ -236,6 +286,21 @@ func (c *Concurrent) snapshots() []parallel.Snapshot {
 // combined worst-case rank error certified for them (divide by Count for the
 // epsilon it certifies).
 func (c *Concurrent) QuantilesWithBound(phis []float64) (values []float64, errorBound float64, err error) {
+	if c.backend != BackendMRL {
+		combined, err := c.combineEstimators(nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		if combined == nil {
+			return nil, 0, ErrEmpty
+		}
+		values, err := combined.Quantiles(phis)
+		if err != nil {
+			return nil, 0, err
+		}
+		bound, _ := combined.ErrorBound()
+		return values, bound, nil
+	}
 	res, err := parallel.CombineSnapshots(c.snapshots(), phis)
 	if err != nil {
 		return nil, 0, err
@@ -267,6 +332,14 @@ func (c *Concurrent) Median() (float64, error) { return c.Quantile(0.5) }
 // reported quantile, certified by the pooled Lemma 5 accounting of all
 // shards for the collapses that have actually happened.
 func (c *Concurrent) ErrorBound() float64 {
+	if c.backend != BackendMRL {
+		combined, err := c.combineEstimators(nil)
+		if err != nil || combined == nil {
+			return 0
+		}
+		bound, _ := combined.ErrorBound()
+		return bound
+	}
 	return parallel.CombinedBound(c.snapshots())
 }
 
@@ -275,25 +348,43 @@ func (c *Concurrent) Count() int64 {
 	var total int64
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		total += sh.sk.Count()
+		if sh.sk != nil {
+			total += sh.sk.Count()
+		} else {
+			total += sh.est.Count()
+		}
 		sh.mu.Unlock()
 	}
 	return total
 }
 
 // Min returns the exact minimum consumed so far.
-func (c *Concurrent) Min() (float64, error) { return c.extreme((*core.Sketch).Min, math.Min) }
+func (c *Concurrent) Min() (float64, error) {
+	return c.extreme(func(sh *concurrentShard) (float64, error) {
+		if sh.sk != nil {
+			return sh.sk.Min()
+		}
+		return sh.est.Min()
+	}, math.Min)
+}
 
 // Max returns the exact maximum consumed so far.
-func (c *Concurrent) Max() (float64, error) { return c.extreme((*core.Sketch).Max, math.Max) }
+func (c *Concurrent) Max() (float64, error) {
+	return c.extreme(func(sh *concurrentShard) (float64, error) {
+		if sh.sk != nil {
+			return sh.sk.Max()
+		}
+		return sh.est.Max()
+	}, math.Max)
+}
 
-func (c *Concurrent) extreme(get func(*core.Sketch) (float64, error), pick func(float64, float64) float64) (float64, error) {
+func (c *Concurrent) extreme(get func(*concurrentShard) (float64, error), pick func(float64, float64) float64) (float64, error) {
 	best := math.NaN()
 	seen := false
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if sh.sk.Count() > 0 {
-			v, err := get(sh.sk)
+		if sh.count() > 0 {
+			v, err := get(sh)
 			if err != nil {
 				sh.mu.Unlock()
 				return math.NaN(), err
@@ -312,6 +403,14 @@ func (c *Concurrent) extreme(get func(*core.Sketch) (float64, error), pick func(
 	return best, nil
 }
 
+// count reads the shard's element count; the caller holds the shard lock.
+func (sh *concurrentShard) count() int64 {
+	if sh.sk != nil {
+		return sh.sk.Count()
+	}
+	return sh.est.Count()
+}
+
 // Shards returns the number of writer shards.
 func (c *Concurrent) Shards() int { return len(c.shards) }
 
@@ -320,7 +419,13 @@ func (c *Concurrent) Shards() int { return len(c.shards) }
 func (c *Concurrent) MemoryElements() int {
 	total := 0
 	for _, sh := range c.shards {
-		total += sh.sk.MemoryElements()
+		if sh.sk != nil {
+			total += sh.sk.MemoryElements()
+			continue
+		}
+		sh.mu.Lock()
+		total += sh.est.EstimatorStats().MemoryElements
+		sh.mu.Unlock()
 	}
 	return total
 }
@@ -333,7 +438,7 @@ func (c *Concurrent) ShardCounts() []int64 {
 	counts := make([]int64, len(c.shards))
 	for i, sh := range c.shards {
 		sh.mu.Lock()
-		counts[i] = sh.sk.Count()
+		counts[i] = sh.count()
 		sh.mu.Unlock()
 	}
 	return counts
@@ -358,9 +463,14 @@ type IngestStats struct {
 	Fallbacks int64
 }
 
-// Stats returns the pooled collapse accounting across all shards.
+// Stats returns the pooled collapse accounting across all shards. It is
+// MRL-specific (the counters are the paper's symbols); for other backends
+// every field is zero — use EstimatorStats instead.
 func (c *Concurrent) Stats() IngestStats {
 	var out IngestStats
+	if c.backend != BackendMRL {
+		return out
+	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		st := sh.sk.Stats()
@@ -385,6 +495,9 @@ func (c *Concurrent) Stats() IngestStats {
 // count the answers cover. Nil extras are skipped; sampled sketches cannot
 // take part (they have no final buffers to combine).
 func (c *Concurrent) CombineWith(extra []*Sketch, phis []float64) (values []float64, errorBound float64, count int64, err error) {
+	if c.backend != BackendMRL {
+		return nil, 0, 0, fmt.Errorf("quantile: CombineWith is MRL-only; this sketch runs %q (use CombineEstimators)", c.backend)
+	}
 	snaps := c.snapshots()
 	for _, s := range extra {
 		if s == nil {
@@ -406,6 +519,9 @@ func (c *Concurrent) CombineWith(extra []*Sketch, phis []float64) (values []floa
 // certify, without selecting any quantiles. Nil and sampled extras are
 // skipped.
 func (c *Concurrent) BoundWith(extra []*Sketch) float64 {
+	if c.backend != BackendMRL {
+		return c.ErrorBound()
+	}
 	snaps := c.snapshots()
 	for _, s := range extra {
 		if s == nil || s.det == nil {
@@ -422,7 +538,11 @@ func (c *Concurrent) BoundWith(extra []*Sketch) float64 {
 func (c *Concurrent) Reset() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		sh.sk.Reset()
+		if sh.sk != nil {
+			sh.sk.Reset()
+		} else {
+			_ = sh.est.Reset() // non-MRL estimators never fail Reset
+		}
 		sh.mu.Unlock()
 	}
 }
@@ -431,6 +551,9 @@ func (c *Concurrent) Reset() {
 // path, e.g. to serialise the combined state with MarshalBinary. The
 // Concurrent sketch itself stays usable and unchanged.
 func (c *Concurrent) Seal() (*Sketch, error) {
+	if c.backend != BackendMRL {
+		return nil, fmt.Errorf("quantile: Seal is MRL-only; this sketch runs %q (use SealEstimator)", c.backend)
+	}
 	var out *Sketch
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -472,6 +595,6 @@ func cloneCore(s *core.Sketch) (*core.Sketch, error) {
 
 // Describe returns a one-line summary of the sharded provisioning.
 func (c *Concurrent) Describe() string {
-	return fmt.Sprintf("concurrent{shards=%d per-shard{%s} mem=%d}",
-		len(c.shards), c.perDesc, c.MemoryElements())
+	return fmt.Sprintf("concurrent{backend=%s shards=%d per-shard{%s} mem=%d}",
+		c.backend, len(c.shards), c.perDesc, c.MemoryElements())
 }
