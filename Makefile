@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryFile            -fuzztime=$(FUZZTIME) ./internal/stream/
 	$(GO) test -run='^$$' -fuzz=FuzzKLLBinaryRoundTrip      -fuzztime=$(FUZZTIME) ./internal/kll/
 	$(GO) test -run='^$$' -fuzz=FuzzWeightedBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/weighted/
+	$(GO) test -run='^$$' -fuzz=FuzzBinaryIngestFrame       -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # cert-smoke runs the guarantee-certification sweep at the CI budget: every
 # policy x order x estimator stack x backend (mrl, kll, weighted) is checked
@@ -79,26 +80,27 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The gated hot-path benchmarks: 6 samples each so the gate compares medians.
-BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$
+BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$|BenchmarkHTTPIngest$$|BenchmarkHTTPIngestBinary$$
 BENCH_COUNT ?= 6
 
-# The packages whose hot paths the bench gate tracks: the MRL core and the
-# KLL backend (its sub-benchmarks carry a kll/ prefix, so names never clash).
-BENCH_PKGS = ./internal/core/ ./internal/kll/
+# The packages whose hot paths the bench gate tracks: the MRL core, the
+# KLL backend (its sub-benchmarks carry a kll/ prefix, so names never clash),
+# and the serve ingest carriers (JSON vs binary).
+BENCH_PKGS = ./internal/core/ ./internal/kll/ ./internal/serve/
 
-# bench-json refreshes the committed perf baseline results/BENCH_4.json.
+# bench-json refreshes the committed perf baseline results/BENCH_7.json.
 bench-json:
 	mkdir -p results
 	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson parse -o results/BENCH_4.json
-	@echo "wrote results/BENCH_4.json"
+		| $(GO) run ./cmd/benchjson parse -o results/BENCH_7.json
+	@echo "wrote results/BENCH_7.json"
 
 # bench-gate re-runs the gated benchmarks and fails on a >15% median ns/op
 # regression against the committed baseline (same check CI runs).
 bench-gate:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new.txt
-	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_4.json -new /tmp/bench_new.txt \
-		-match '^Benchmark(Add|AddBatch|Quantiles)/' -max-regress-pct 15
+	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_7.json -new /tmp/bench_new.txt \
+		-match '^Benchmark(Add|AddBatch|Quantiles|HTTPIngest|HTTPIngestBinary)/' -max-regress-pct 15
 
 # Regenerate every table and figure of the paper into results/.
 reproduce:

@@ -31,6 +31,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8126", "listen address")
+		binAddr    = flag.String("bin-addr", "", "binary ingest listen address, e.g. :8127 (empty disables the TCP binary listener; POST /ingest/bin always works)")
 		epsilon    = flag.Float64("epsilon", 0.001, "all-time rank-error tolerance per metric")
 		n          = flag.Int64("n", 50_000_000, "all-time stream capacity the guarantee is sized for, per metric")
 		shards     = flag.Int("shards", 0, "writer shards per metric (0 = one per core)")
@@ -110,6 +111,15 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	if *binAddr != "" {
+		// ListenAndServeBinary returns nil on Shutdown, so a clean stop
+		// never races an error into errCh.
+		go func() {
+			if err := srv.ListenAndServeBinary(*binAddr); err != nil {
+				errCh <- err
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,406 @@
+// Command quantileload drives a quantiled daemon's binary ingest listener
+// (quantiled -bin-addr) at high rates and measures it with its own
+// instruments: every batch ack's latency is folded into a local KLL
+// estimator, and the same samples are pushed back into the daemon under a
+// dedicated metric (__load.latency by default) — so the daemon serves the
+// latency distribution of its own load test.
+//
+// The generator is open-loop: batch send times are scheduled from -rate
+// alone, never from ack arrival, so a slow server accumulates queueing
+// delay instead of silently throttling the offered load. Each connection
+// pipelines up to -inflight unacked batches, matching send timestamps
+// against the server's in-order acks.
+//
+// Usage:
+//
+//	quantileload -addr :8127 -conns 8 -batch 4096 -duration 30s        (unpaced)
+//	quantileload -addr :8127 -rate 2e6 -kind zipf -param 1.2           (2M values/sec)
+//
+// Kinds are cmd/genstream's workloads: sorted, reversed, zigzag, organpipe,
+// shuffled, blocked, uniform, normal, lognormal, exponential, zipf,
+// discrete, mixture.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mrl/internal/serve"
+	"mrl/internal/stream"
+	"mrl/quantile"
+)
+
+var (
+	addr      = flag.String("addr", "localhost:8127", "daemon binary ingest address (quantiled -bin-addr)")
+	conns     = flag.Int("conns", 4, "concurrent ingest connections")
+	rate      = flag.Float64("rate", 0, "target values/sec across all connections (0 = unpaced)")
+	batchSize = flag.Int("batch", 1024, "values per batch frame")
+	duration  = flag.Duration("duration", 10*time.Second, "load duration")
+	inflight  = flag.Int("inflight", 32, "max unacked batches per connection")
+	metric    = flag.String("metric", "load", "target metric name")
+	backend   = flag.String("backend", "", "backend tag sent in the dict frame (empty = daemon default)")
+	kind      = flag.String("kind", "shuffled", "workload kind (see doc)")
+	cycle     = flag.Float64("cycle", 1e6, "values per workload pass (the source rewinds and repeats)")
+	seed      = flag.Int64("seed", 42, "workload seed; connection i uses seed+i")
+	param     = flag.Float64("param", 1.5, "distribution parameter (zipf s, exponential rate, normal stddev, lognormal sigma)")
+	mean      = flag.Float64("mean", 0, "mean / mu for normal and lognormal")
+	domain    = flag.Float64("domain", 1e6, "domain size for zipf and discrete")
+	blocks    = flag.Int("blocks", 64, "block count for the blocked arrival order")
+	latMetric = flag.String("latency-metric", "__load.latency", "metric to push observed ack latencies (ms) into (empty disables)")
+	latEvery  = flag.Duration("latency-every", time.Second, "period between latency pushes")
+)
+
+// counters aggregates across connections; all fields are atomics.
+type counters struct {
+	batches      atomic.Int64 // batch frames written
+	values       atomic.Int64 // values written
+	acked        atomic.Int64 // acks received
+	valuesAcked  atomic.Int64 // values the acks accepted
+	ackErrors    atomic.Int64 // acks with nonzero status
+	dropped      atomic.Int64 // latency samples dropped (collector backlog)
+	lastErr      atomic.Value // string: most recent ack error message
+	transportErr atomic.Value // string: most recent connection failure
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quantileload: ")
+	flag.Parse()
+	if *conns < 1 || *batchSize < 1 || *inflight < 1 {
+		log.Fatalf("-conns, -batch and -inflight must be positive")
+	}
+	if *batchSize > 1_000_000 {
+		log.Fatalf("-batch %d exceeds the 1M-value frame cap", *batchSize)
+	}
+
+	// Per-connection open-loop pacing interval: rate is shared evenly.
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(*batchSize) * float64(*conns) / *rate)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var stats counters
+	lats := make(chan time.Duration, 8192)
+	collectorDone := make(chan *quantile.KLL, 1)
+	go collect(lats, &stats, collectorDone)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			if err := runConn(ctx, idx, interval, start, lats, &stats); err != nil {
+				stats.transportErr.Store(err.Error())
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(lats)
+	est := <-collectorDone
+
+	report(est, &stats, elapsed)
+	if stats.acked.Load() == 0 {
+		os.Exit(1)
+	}
+}
+
+// runConn owns one connection: a writer loop paces and pipelines batch
+// frames while a reader goroutine matches the server's in-order acks
+// against a FIFO of send timestamps.
+func runConn(ctx context.Context, idx int, interval time.Duration, start time.Time, lats chan<- time.Duration, stats *counters) error {
+	src, err := buildSource(*kind, int64(*cycle), *seed+int64(idx))
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", *addr, err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, 1<<12)
+
+	hello := serve.AppendBinPrologue(nil)
+	hello = serve.AppendDictFrame(hello, 1, *metric, *backend)
+	if _, err := bw.Write(hello); err != nil {
+		return err
+	}
+
+	// The reader drains `times` even after a transport error so the writer
+	// can never block forever on a full pipeline.
+	times := make(chan time.Time, *inflight)
+	readErr := make(chan error, 1)
+	go func() {
+		for t0 := range times {
+			ack, err := serve.ReadBinAck(br)
+			if err != nil {
+				for range times {
+				}
+				readErr <- err
+				return
+			}
+			stats.acked.Add(1)
+			stats.valuesAcked.Add(int64(ack.Accepted))
+			if !ack.OK() {
+				stats.ackErrors.Add(1)
+				stats.lastErr.Store(ack.Msg)
+			}
+			select {
+			case lats <- time.Since(t0):
+			default:
+				stats.dropped.Add(1)
+			}
+		}
+		readErr <- nil
+	}()
+
+	vals := make([]float64, 0, *batchSize)
+	buf := make([]byte, 0, 32+8*(*batchSize))
+	deadline := start.Add(*duration)
+	next := time.Now()
+	for ctx.Err() == nil && time.Now().Before(deadline) {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(d):
+				}
+			}
+			next = next.Add(interval)
+		}
+		vals = vals[:0]
+		for len(vals) < *batchSize {
+			v, ok := src.Next()
+			if !ok {
+				src.Reset()
+				continue
+			}
+			vals = append(vals, v)
+		}
+		buf = serve.AppendBatchFrame(buf[:0], 1, vals, nil)
+		times <- time.Now()
+		if _, err = bw.Write(buf); err != nil {
+			break
+		}
+		if err = bw.Flush(); err != nil {
+			break
+		}
+		stats.batches.Add(1)
+		stats.values.Add(int64(len(vals)))
+	}
+	bw.Flush()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite() // the server acks the tail, then closes
+	}
+	close(times)
+	if rerr := <-readErr; rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// collect folds latency samples into the local estimator and periodically
+// pushes the same samples into the daemon under -latency-metric, over its
+// own binary connection. The daemon then serves the load test's own p99.
+func collect(lats <-chan time.Duration, stats *counters, done chan<- *quantile.KLL) {
+	est, err := quantile.NewKLL(quantile.Config{Epsilon: 0.001, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var push *pusher
+	pushBroken := false
+	var pending []float64
+	flush := func() {
+		if *latMetric == "" || len(pending) == 0 || pushBroken {
+			pending = pending[:0]
+			return
+		}
+		if push == nil {
+			if push, err = dialPusher(*addr, *latMetric); err != nil {
+				log.Printf("latency push disabled: %v", err)
+				pushBroken = true
+				pending = pending[:0]
+				return
+			}
+		}
+		if err := push.push(pending); err != nil {
+			log.Printf("latency push disabled: %v", err)
+			pushBroken = true
+		}
+		pending = pending[:0]
+	}
+	tick := time.NewTicker(*latEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case lat, ok := <-lats:
+			if !ok {
+				flush()
+				if push != nil {
+					push.close()
+				}
+				done <- est
+				return
+			}
+			ms := float64(lat) / float64(time.Millisecond)
+			est.Add(ms)
+			if *latMetric != "" && !pushBroken {
+				pending = append(pending, ms)
+			}
+		case <-tick.C:
+			flush()
+		}
+	}
+}
+
+// pusher is the minimal synchronous client used for the latency metric:
+// one batch frame out, one ack back.
+type pusher struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	buf  []byte
+}
+
+func dialPusher(addr, metric string) (*pusher, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &pusher{conn: conn, bw: bufio.NewWriterSize(conn, 1<<15), br: bufio.NewReaderSize(conn, 1<<10)}
+	// The latency stream's length is unknown by construction, so tag the
+	// KLL backend; a pre-registered metric with another backend rejects the
+	// dict frame and the push is disabled with that message.
+	p.buf = serve.AppendBinPrologue(p.buf)
+	p.buf = serve.AppendDictFrame(p.buf, 1, metric, "kll")
+	if _, err := p.bw.Write(p.buf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *pusher) push(vals []float64) error {
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > 65536 {
+			n = 65536
+		}
+		p.buf = serve.AppendBatchFrame(p.buf[:0], 1, vals[:n], nil)
+		vals = vals[n:]
+		if _, err := p.bw.Write(p.buf); err != nil {
+			return err
+		}
+		if err := p.bw.Flush(); err != nil {
+			return err
+		}
+		ack, err := serve.ReadBinAck(p.br)
+		if err != nil {
+			return err
+		}
+		if !ack.OK() {
+			return errors.New(ack.Msg)
+		}
+	}
+	return nil
+}
+
+func (p *pusher) close() { p.conn.Close() }
+
+func report(est *quantile.KLL, stats *counters, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	fmt.Printf("quantileload: %d conns against %s for %v (batch=%d", *conns, *addr, elapsed.Round(time.Millisecond), *batchSize)
+	if *rate > 0 {
+		fmt.Printf(", target %.3g values/sec", *rate)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("  sent    %d batches / %d values (%.0f values/sec)\n",
+		stats.batches.Load(), stats.values.Load(), float64(stats.values.Load())/sec)
+	fmt.Printf("  acked   %d batches / %d values accepted, %d error acks\n",
+		stats.acked.Load(), stats.valuesAcked.Load(), stats.ackErrors.Load())
+	if msg, ok := stats.lastErr.Load().(string); ok {
+		fmt.Printf("  last error ack: %s\n", msg)
+	}
+	if msg, ok := stats.transportErr.Load().(string); ok {
+		fmt.Printf("  transport error: %s\n", msg)
+	}
+	if est.Count() == 0 {
+		fmt.Printf("  no acks measured\n")
+		return
+	}
+	qs, err := est.Quantiles([]float64{0.5, 0.9, 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	max, _ := est.Max()
+	bound, _ := est.ErrorBound()
+	fmt.Printf("  ack latency p50=%s p90=%s p99=%s max=%s (%d samples, ±%.0f rank error",
+		ms(qs[0]), ms(qs[1]), ms(qs[2]), ms(max), est.Count(), math.Ceil(bound))
+	if stats.dropped.Load() > 0 {
+		fmt.Printf(", %d samples dropped", stats.dropped.Load())
+	}
+	fmt.Printf(")\n")
+	if *latMetric != "" {
+		fmt.Printf("  daemon serves the same distribution: /quantile?metric=%s&phi=0.5,0.99\n", *latMetric)
+	}
+}
+
+// ms renders a millisecond float as a duration string.
+func ms(v float64) string {
+	return time.Duration(v * float64(time.Millisecond)).Round(time.Microsecond).String()
+}
+
+// buildSource mirrors cmd/genstream's workload switch with an explicit
+// seed, so every connection streams a distinct arrival order.
+func buildSource(kind string, n, seed int64) (stream.Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bad -cycle %d", n)
+	}
+	switch kind {
+	case "sorted":
+		return stream.Sorted(n), nil
+	case "reversed":
+		return stream.Reversed(n), nil
+	case "zigzag":
+		return stream.Zigzag(n), nil
+	case "organpipe":
+		return stream.OrganPipe(n), nil
+	case "shuffled":
+		return stream.Shuffled(n, seed), nil
+	case "blocked":
+		return stream.Blocked(n, *blocks, seed), nil
+	case "uniform":
+		return stream.Uniform(n, seed), nil
+	case "normal":
+		return stream.Normal(n, seed, *mean, *param), nil
+	case "lognormal":
+		return stream.LogNormal(n, seed, *mean, *param), nil
+	case "exponential":
+		return stream.Exponential(n, seed, *param), nil
+	case "zipf":
+		return stream.Zipf(n, seed, *param, uint64(*domain)), nil
+	case "discrete":
+		return stream.Discrete(n, seed, int64(*domain)), nil
+	case "mixture":
+		return stream.Mixture(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -41,6 +41,28 @@ func runEstimator(sc Scenario, data, phis []float64) (runResult, error) {
 	if err != nil {
 		return runResult{}, err
 	}
+	if sc.WeightProfile != "" {
+		if backend != quantile.BackendWeighted {
+			return runResult{}, fmt.Errorf("cert: weight profile %q needs the %q backend, got %q", sc.WeightProfile, quantile.BackendWeighted, sc.Backend)
+		}
+		if sc.Mode == ModeDuplicates {
+			return runResult{}, fmt.Errorf("cert: weighted ingest does not combine with mode %q", sc.Mode)
+		}
+		ws, err := sc.buildWeights(len(data))
+		if err != nil {
+			return runResult{}, err
+		}
+		switch est {
+		case EstimatorSketch:
+			return runWeightedSketch(sc, data, ws, phis)
+		case EstimatorConcurrent:
+			return runWeightedConcurrent(sc, data, ws, phis)
+		case EstimatorServe:
+			return runServe(sc, data, phis)
+		default:
+			return runResult{}, fmt.Errorf("cert: estimator %q does not support weighted ingest", est)
+		}
+	}
 	if backend != quantile.BackendMRL {
 		if sc.Sampled {
 			return runResult{}, fmt.Errorf("cert: the sampling front-end is MRL-specific; backend %q unsupported", sc.Backend)
@@ -98,6 +120,89 @@ func feedChunks(data []float64, addOne func(float64) error, addBatch func([]floa
 		}
 	}
 	return nil
+}
+
+// feedWeightedChunks is feedChunks for (value, weight) pairs: a short
+// element-wise prefix through addOne, then parallel-slice batches through
+// addBatch, keeping the certifier sensitive to either weighted ingest face
+// regressing.
+func feedWeightedChunks(data, ws []float64, addOne func(v, w float64) error, addBatch func(vs, ws []float64) error) error {
+	prefix := 7
+	if prefix > len(data) {
+		prefix = len(data)
+	}
+	for i := 0; i < prefix; i++ {
+		if err := addOne(data[i], ws[i]); err != nil {
+			return err
+		}
+	}
+	const chunk = 237
+	for off := prefix; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := addBatch(data[off:end], ws[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWeightedSketch drives the weighted summary's weighted ingest face
+// directly. The bound is in weight units; the caller scores it against the
+// weight-expanded oracle, whose ranks are exactly those units. No a-priori
+// claim is made (epsLimit -1): the summary's Epsilon is by-weight and its
+// runtime bound is the only guarantee served.
+func runWeightedSketch(sc Scenario, data, ws, phis []float64) (runResult, error) {
+	if _, err := sc.facadePolicy(); err != nil {
+		return runResult{}, err
+	}
+	if sc.B > 0 || sc.K > 0 {
+		return runResult{}, fmt.Errorf("cert: the weighted backend has no b/k geometry")
+	}
+	est, err := quantile.NewWeighted(quantile.Config{Epsilon: sc.Epsilon})
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := feedWeightedChunks(data, ws, est.AddWeighted, est.AddWeightedBatch); err != nil {
+		return runResult{}, err
+	}
+	values, err := est.Quantiles(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	bound, _ := est.ErrorBound()
+	return runResult{values: values, count: est.Count(), bound: bound, epsLimit: -1}, nil
+}
+
+// runWeightedConcurrent shards the weighted summary behind
+// quantile.Concurrent and feeds it through AddWeightedBatch (singles are
+// one-element batches: Concurrent has no single weighted Add).
+func runWeightedConcurrent(sc Scenario, data, ws, phis []float64) (runResult, error) {
+	pol, err := sc.facadePolicy()
+	if err != nil {
+		return runResult{}, err
+	}
+	if sc.B > 0 || sc.K > 0 {
+		return runResult{}, fmt.Errorf("cert: the weighted backend has no b/k geometry")
+	}
+	con, err := quantile.NewConcurrent(quantile.ConcurrentConfig{
+		Policy: pol, Shards: sc.shardsOrDefault(), Backend: quantile.BackendWeighted,
+		Epsilon: sc.Epsilon, Seed: sc.Seed,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	addOne := func(v, w float64) error { return con.AddWeightedBatch([]float64{v}, []float64{w}) }
+	if err := feedWeightedChunks(data, ws, addOne, con.AddWeightedBatch); err != nil {
+		return runResult{}, err
+	}
+	values, bound, err := con.QuantilesWithBound(phis)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{values: values, count: con.Count(), bound: bound, epsLimit: -1}, nil
 }
 
 // runSketch drives the public quantile.Sketch facade.
@@ -323,10 +428,12 @@ func runParallel(sc Scenario, data, phis []float64) (runResult, error) {
 // certMetric is the metric name serve scenarios ingest into.
 const certMetric = "cert"
 
-// serveIngestBatch is the request body shape of POST /ingest.
+// serveIngestBatch is the request body shape of POST /ingest. Weights,
+// when present, pairs with Values for weighted ingest.
 type serveIngestBatch struct {
-	Metric string    `json:"metric"`
-	Values []float64 `json:"values"`
+	Metric  string    `json:"metric"`
+	Values  []float64 `json:"values"`
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 // serveQuantileResponse mirrors the GET /quantile response body.
@@ -405,13 +512,26 @@ func runServe(sc Scenario, data, phis []float64) (runResult, error) {
 	}
 	h := srv.Handler()
 
+	// Weighted scenarios carry the parallel weights slice batch by batch;
+	// the handler routes such bodies through the weighted ingest path.
+	var ws []float64
+	if sc.WeightProfile != "" {
+		if ws, err = sc.buildWeights(len(data)); err != nil {
+			return runResult{}, err
+		}
+	}
+
 	const batch = 512
 	for off := 0; off < len(data); off += batch {
 		end := off + batch
 		if end > len(data) {
 			end = len(data)
 		}
-		body, err := json.Marshal(serveIngestBatch{Metric: certMetric, Values: data[off:end]})
+		req := serveIngestBatch{Metric: certMetric, Values: data[off:end]}
+		if ws != nil {
+			req.Weights = ws[off:end]
+		}
+		body, err := json.Marshal(req)
 		if err != nil {
 			return runResult{}, err
 		}

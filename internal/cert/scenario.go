@@ -73,6 +73,14 @@ type Scenario struct {
 	// runtime bound is asserted. Supported with EstimatorSketch,
 	// EstimatorConcurrent and EstimatorServe.
 	Backend string `json:"backend,omitempty"`
+	// WeightProfile, when set, feeds the stream through the weighted ingest
+	// face with deterministic non-unit integer weights ("cycle": weights
+	// 1..5 cycling; "heavy": every 16th element carries weight 32). The
+	// oracle is then the weight-expanded dataset — each element repeated
+	// weight times — so the backend's weight-unit bound is asserted against
+	// exact weighted ranks. Requires Backend "weighted" and ModeEstimate
+	// with EstimatorSketch, EstimatorConcurrent or EstimatorServe.
+	WeightProfile string `json:"weights,omitempty"`
 	// Sampled switches EstimatorSketch to the Section 5 sampling
 	// front-end; Delta is then the permitted failure probability.
 	Sampled bool    `json:"sampled,omitempty"`
@@ -114,6 +122,9 @@ func (sc Scenario) Name() string {
 	extra := ""
 	if sc.Backend != "" {
 		extra = "/backend=" + sc.Backend
+	}
+	if sc.WeightProfile != "" {
+		extra += "/weights=" + sc.WeightProfile
 	}
 	if sc.Sampled {
 		extra = fmt.Sprintf("/sampled(delta=%g)", sc.Delta)
@@ -214,6 +225,55 @@ func Policies() []string {
 // default first.
 func Backends() []string {
 	return []string{"mrl", "kll", "weighted"}
+}
+
+// WeightProfiles lists every weighted-ingest profile the certifier
+// understands. All profiles are integer-valued so the weight-expanded
+// oracle is exact.
+func WeightProfiles() []string {
+	return []string{"cycle", "heavy"}
+}
+
+// buildWeights materialises the scenario's deterministic weight vector for
+// an n-element dataset. Position i's weight depends only on i, so a shrunk
+// scenario (smaller N) rebuilds a strict prefix of the original weights.
+func (sc Scenario) buildWeights(n int) ([]float64, error) {
+	ws := make([]float64, n)
+	switch sc.WeightProfile {
+	case "cycle":
+		for i := range ws {
+			ws[i] = float64(i%5 + 1)
+		}
+	case "heavy":
+		for i := range ws {
+			if i%16 == 0 {
+				ws[i] = 32
+			} else {
+				ws[i] = 1
+			}
+		}
+	default:
+		return nil, fmt.Errorf("cert: unknown weight profile %q (want one of %v)", sc.WeightProfile, WeightProfiles())
+	}
+	return ws, nil
+}
+
+// expandWeighted materialises the exact oracle of a weighted stream: each
+// element repeated weight times, so ranks over the expansion are the
+// weighted ranks the backend's weight-unit bound speaks about. Weights must
+// be positive integers (every WeightProfile is).
+func expandWeighted(data, ws []float64) []float64 {
+	var total int
+	for _, w := range ws {
+		total += int(w)
+	}
+	out := make([]float64, 0, total)
+	for i, v := range data {
+		for c := 0; c < int(ws[i]); c++ {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // buildData materialises the dataset a ModeEstimate / ModeDuplicates run
@@ -329,6 +389,9 @@ func (c *Certifier) Check(sc Scenario) (Outcome, error) {
 	// The metamorphic modes certify MRL-specific machinery (Lemma 5
 	// accounting, snapshot combine); a scenario naming another backend is
 	// malformed, not silently run against the wrong implementation.
+	if sc.WeightProfile != "" {
+		return Outcome{}, fmt.Errorf("cert: mode %q does not support weighted ingest", mode)
+	}
 	if b, err := quantile.ParseBackend(sc.Backend); err != nil {
 		return Outcome{}, err
 	} else if b != quantile.BackendMRL {
@@ -369,7 +432,20 @@ func (c *Certifier) checkEstimate(sc Scenario) (Outcome, error) {
 	}
 	out := Outcome{Scenario: sc, Count: rr.count, Bound: rr.bound, EpsRanks: rr.epsLimit}
 
-	rep, err := validate.Evaluate(sc.Name(), data, sc.Phis, rr.values)
+	// Weighted scenarios are scored against the weight-expanded exact
+	// oracle: the backend's bound is in weight units, which are exactly the
+	// ranks of the expansion. The count check below still uses the
+	// unexpanded dataset — estimators count elements, not weight.
+	oracle := data
+	if sc.WeightProfile != "" {
+		ws, werr := sc.buildWeights(len(data))
+		if werr != nil {
+			return Outcome{}, werr
+		}
+		oracle = expandWeighted(data, ws)
+	}
+
+	rep, err := validate.Evaluate(sc.Name(), oracle, sc.Phis, rr.values)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("cert: scoring %s: %w", sc.Name(), err)
 	}

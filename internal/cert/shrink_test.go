@@ -153,6 +153,82 @@ func TestInjectedKLLBoundBugIsCaughtShrunkAndReplayable(t *testing.T) {
 	}
 }
 
+// TestInjectedWeightedBoundBugIsCaughtShrunkAndReplayable mirrors the
+// mutation check above on the weighted-ingest axis: a corrupted answer from
+// a non-unit-weight stream must be detected as a violation of the
+// weight-unit runtime bound (scored against the weight-expanded oracle,
+// never as an epsilon violation), shrunk to a reproducer that keeps its
+// weight profile, and replayed bit-for-bit.
+func TestInjectedWeightedBoundBugIsCaughtShrunkAndReplayable(t *testing.T) {
+	c := NewCertifier(Options{Corrupt: corruptAll})
+	sc := Scenario{
+		Backend: "weighted", WeightProfile: "cycle",
+		Policy: "new", Order: "shuffled",
+		Epsilon: 0.01, N: 2048, Phis: sweepPhis(), Seed: 5,
+	}
+
+	out, err := c.Check(sc)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, v := range out.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds["bound"] {
+		t.Fatalf("injected bug not detected as a bound violation; violation kinds: %v", kinds)
+	}
+	if kinds["epsilon"] {
+		t.Fatal("weighted scenario asserted the a-priori epsilon claim it does not make")
+	}
+	if out.EpsRanks >= 0 {
+		t.Errorf("EpsRanks = %g, want -1 (no a-priori claim)", out.EpsRanks)
+	}
+
+	ct, err := c.certify(sc)
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if ct.ShrinkSteps == 0 {
+		t.Fatal("shrinker accepted no reductions on a trivially shrinkable failure")
+	}
+	if ct.Minimal.N >= sc.N {
+		t.Errorf("minimal N = %d did not shrink below original %d", ct.Minimal.N, sc.N)
+	}
+	if len(ct.Minimal.Phis) != 1 {
+		t.Errorf("minimal reproducer still queries %d phis, want 1", len(ct.Minimal.Phis))
+	}
+	if ct.Minimal.WeightProfile != "cycle" {
+		t.Errorf("shrinker dropped the weight profile: %q", ct.Minimal.WeightProfile)
+	}
+	if ct.Minimal.B != 0 || ct.Minimal.K != 0 {
+		t.Errorf("shrinker set b=%d k=%d on the weighted backend, which has no geometry knobs", ct.Minimal.B, ct.Minimal.K)
+	}
+	if len(ct.Outcome.Violations) == 0 {
+		t.Fatal("minimal scenario's outcome carries no violations")
+	}
+
+	js, err := ct.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	parsed, err := ParseCertificate(js)
+	if err != nil {
+		t.Fatalf("ParseCertificate: %v", err)
+	}
+	if parsed.Minimal.Backend != "weighted" || parsed.Minimal.WeightProfile != "cycle" {
+		t.Fatalf("backend %q / weight profile %q did not survive the JSON round trip",
+			parsed.Minimal.Backend, parsed.Minimal.WeightProfile)
+	}
+	replayed, err := c.Replay(parsed)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(replayed, ct.Outcome) {
+		t.Errorf("replay diverged from the certified outcome:\ncertified %+v\nreplayed  %+v", ct.Outcome, replayed)
+	}
+}
+
 // TestSweepSurfacesInjectedBugAsCertificate runs the mutation end to end
 // through Run: a Corrupt hook targeting one narrow scenario slice must turn
 // a passing sweep into a failing Result carrying shrunk certificates, while

@@ -320,5 +320,32 @@ func Scenarios(budget Budget, seed int64) ([]Scenario, error) {
 			Epsilon: epss[len(epss)-1], N: ns[len(ns)-1], Phis: phis, Seed: derive(),
 		})
 	}
+
+	// Weighted-ingest axis: the weighted backend fed non-unit integer
+	// weights and scored against the weight-expanded exact oracle, through
+	// every stack that carries weights (direct, sharded, and the HTTP
+	// weights field). Appended last so the derive() seed sequence of every
+	// scenario above is stable across certifier versions.
+	for _, profile := range WeightProfiles() {
+		for _, order := range []string{"sorted", "shuffled"} {
+			scs = append(scs, Scenario{
+				Estimator: EstimatorSketch, Backend: "weighted", WeightProfile: profile,
+				Policy: "new", Order: order,
+				Epsilon: epss[0], N: ns[len(ns)-1], Phis: phis, Seed: derive(),
+			})
+		}
+		scs = append(scs, Scenario{
+			Estimator: EstimatorConcurrent, Backend: "weighted", WeightProfile: profile,
+			Policy: "new", Order: "shuffled",
+			Epsilon: epss[0], N: ns[len(ns)-1], Phis: phis,
+			Shards: 4, Seed: derive(),
+		})
+		scs = append(scs, Scenario{
+			Estimator: EstimatorServe, Backend: "weighted", WeightProfile: profile,
+			Policy: "new", Order: "shuffled",
+			Epsilon: epss[len(epss)-1], N: ns[len(ns)-1], Phis: phis,
+			Shards: 3, Seed: derive(),
+		})
+	}
 	return scs, nil
 }

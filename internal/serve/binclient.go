@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// BinAck is a decoded ack frame — the server's in-order, per-batch answer
+// on the TCP carrier of the binary ingest protocol. It is the client-side
+// counterpart of AppendAckFrame, exported for load tools (cmd/quantileload)
+// that speak the protocol without linking the server internals.
+type BinAck struct {
+	// Status is 0 when the batch was fully ingested. Nonzero values map the
+	// failure class the HTTP carrier would have reported as a status code
+	// (bad request, degraded, unavailable, internal); Msg carries the text.
+	Status byte
+	// Accepted counts the values ingested by the acknowledged batch.
+	Accepted uint32
+	// Msg is the error message accompanying a nonzero Status.
+	Msg string
+}
+
+// OK reports whether the acknowledged batch was fully ingested.
+func (a BinAck) OK() bool { return a.Status == 0 }
+
+// ReadBinAck reads and decodes exactly one ack frame from r, verifying the
+// frame CRC. Any other frame type, or a malformed frame, is an ErrBadFrame;
+// transport errors (including a clean EOF after the peer closed) pass
+// through untouched.
+func ReadBinAck(r io.Reader) (BinAck, error) {
+	var hdr [binFrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return BinAck{}, err
+	}
+	plen, crc, err := parseBinFrameHeader(hdr[:])
+	if err != nil {
+		return BinAck{}, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return BinAck{}, err
+	}
+	if crc32.Checksum(payload, castagnoliBin) != crc {
+		return BinAck{}, fmt.Errorf("%w: ack CRC mismatch", ErrBadFrame)
+	}
+	fr, err := parseBinPayload(payload, nil, nil)
+	if err != nil {
+		return BinAck{}, err
+	}
+	if fr.typ != binFrameAck {
+		return BinAck{}, fmt.Errorf("%w: expected ack frame, got type %d", ErrBadFrame, fr.typ)
+	}
+	return BinAck{Status: fr.status, Accepted: fr.accepted, Msg: fr.msg}, nil
+}

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"net/http"
+)
+
+// maxBinDictEntries caps one stream's interning table; a writer needing
+// more ids than this is leaking them.
+const maxBinDictEntries = 1 << 16
+
+// binSession is the per-stream state of one binary ingest carrier: the
+// id → metric-name interning table plus the decode scratch for hosts where
+// the zero-copy value view is unavailable.
+type binSession struct {
+	s    *Server
+	dict map[uint32]string
+	vals []float64
+	wts  []float64
+}
+
+func newBinSession(s *Server) *binSession {
+	return &binSession{s: s, dict: make(map[uint32]string)}
+}
+
+// handleFrame applies one parsed frame: dict frames extend the interning
+// table (creating the metric when a backend tag is present), batch frames
+// ingest through the pipelined WAL path. Returns the number of values
+// accepted (batch frames only).
+func (bs *binSession) handleFrame(fr binParsed) (int, error) {
+	switch fr.typ {
+	case binFrameDict:
+		if err := validateMetricName(fr.name); err != nil {
+			return 0, err
+		}
+		if fr.backend != "" {
+			if err := bs.s.reg.EnsureBackend(fr.name, fr.backend); err != nil {
+				return 0, err
+			}
+		}
+		if _, ok := bs.dict[fr.id]; !ok && len(bs.dict) >= maxBinDictEntries {
+			return 0, fmt.Errorf("%w: more than %d interned metric ids", ErrBadFrame, maxBinDictEntries)
+		}
+		bs.dict[fr.id] = fr.name
+		return 0, nil
+	case binFrameBatch:
+		name, ok := bs.dict[fr.id]
+		if !ok {
+			return 0, fmt.Errorf("%w: id %d (send a dict frame first)", ErrUnknownMetricID, fr.id)
+		}
+		var err error
+		if fr.weighted {
+			err = bs.s.ingestWeightedBatchPipelined(name, fr.values, fr.weights)
+		} else {
+			err = bs.s.ingestBatchPipelined(name, fr.values)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return len(fr.values), nil
+	default: // binFrameAck: parse accepts it (clients read acks), servers must not
+		return 0, fmt.Errorf("%w: unexpected frame type %d from a writer", ErrBadFrame, fr.typ)
+	}
+}
+
+// ingestBatchPipelined is ingestBatch on the group-commit WAL path: the
+// append shares its fsync with whatever other binary batches are in flight,
+// so decode never serializes behind the sync. The ack contract is
+// unchanged — a nil return under every-batch means the batch is durable.
+func (s *Server) ingestBatchPipelined(name string, vs []float64) error {
+	if err := s.reg.ValidateIngest(name, vs); err != nil {
+		return err
+	}
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wal != nil {
+		if _, err := s.wal.AppendPipelined(s.reg.walRecordName(name), vs); err != nil {
+			s.health.noteWAL(err)
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.health.noteWAL(nil)
+	}
+	return s.reg.Ingest(name, vs)
+}
+
+// ingestWeightedBatchPipelined is ingestWeightedBatch on the group-commit
+// WAL path.
+func (s *Server) ingestWeightedBatchPipelined(name string, vs, ws []float64) error {
+	if err := s.reg.ValidateIngestWeighted(name, vs, ws); err != nil {
+		return err
+	}
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wal != nil {
+		if _, err := s.wal.AppendPipelined(weightedWALPrefix+name, interleaveWeighted(vs, ws)); err != nil {
+			s.health.noteWAL(err)
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.health.noteWAL(nil)
+	}
+	return s.reg.IngestWeighted(name, vs, ws)
+}
+
+// handleIngestBin serves POST /ingest/bin: the body is one binary ingest
+// stream (prologue + frames) and the response is the same JSON ingest reply
+// as POST /ingest. Within HTTP no ack frames are emitted — the status code
+// is the ack.
+func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		s.writeIngestError(w, fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr))
+		return
+	}
+	sc := getIngestScratch()
+	defer putIngestScratch(sc)
+	var err error
+	sc.body, err = readFullBody(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes), sc.body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
+		return
+	}
+	if err := CheckBinPrologue(sc.body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The pooled body buffer starts 8-aligned and the prologue is 8 bytes,
+	// so every frame payload below parses with the zero-copy value view.
+	bs := newBinSession(s)
+	rest := sc.body[binPrologueLen:]
+	var resp ingestResponse
+	for len(rest) > 0 {
+		var fr binParsed
+		fr, rest, err = parseBinFrame(rest, bs.vals, bs.wts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		accepted, err := bs.handleFrame(fr)
+		if err != nil {
+			s.writeIngestError(w, err)
+			return
+		}
+		if fr.typ == binFrameBatch {
+			resp.Accepted += int64(accepted)
+			resp.Batches++
+		}
+	}
+	if resp.Batches == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: binary ingest body carries no batch frames"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ackStatus compresses the HTTP status taxonomy into the ack frame's status
+// byte. 0 is success; anything else carries the error message.
+const (
+	ackOK          = 0
+	ackBadRequest  = 1 // malformed frame, bad metric/backend/weights — do not retry
+	ackDegraded    = 2 // server shedding ingest — retry later
+	ackUnavailable = 3 // batch not made durable — retry
+	ackInternal    = 4
+)
+
+func ackStatusFor(err error) byte {
+	switch statusFor(err) {
+	case http.StatusBadRequest, http.StatusNotFound:
+		return ackBadRequest
+	case http.StatusTooManyRequests:
+		return ackDegraded
+	case http.StatusServiceUnavailable:
+		return ackUnavailable
+	default:
+		return ackInternal
+	}
+}
+
+// ServeBinary accepts persistent binary ingest connections on ln until
+// Shutdown. Each connection is one stream: prologue, then frames; every
+// batch frame is answered by one ack frame, in order, after its batch is
+// durable under the WAL policy. Ingest failures (bad values, unknown id,
+// degraded server) draw an error ack and the stream continues; framing
+// errors (bad prologue, CRC mismatch, torn frame) draw a final error ack
+// and close the connection.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	s.mu.Lock()
+	if s.binClosed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("serve: server is shut down")
+	}
+	s.binLns = append(s.binLns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.binClosed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.binWG.Add(1)
+		go s.serveBinaryConn(conn)
+	}
+}
+
+// ListenAndServeBinary is ServeBinary on a fresh TCP listener.
+func (s *Server) ListenAndServeBinary(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("quantiled binary ingest listening on %s", ln.Addr())
+	return s.ServeBinary(ln)
+}
+
+// closeBinary tears down the binary listeners and connections; called from
+// Shutdown. Acked batches are durable regardless; a batch in flight when
+// its connection drops was simply never acked.
+func (s *Server) closeBinary() {
+	s.mu.Lock()
+	s.binClosed = true
+	lns := s.binLns
+	s.binLns = nil
+	conns := make([]net.Conn, 0, len(s.binConns))
+	for c := range s.binConns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.binWG.Wait()
+}
+
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer s.binWG.Done()
+	s.mu.Lock()
+	if s.binClosed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if s.binConns == nil {
+		s.binConns = make(map[net.Conn]struct{})
+	}
+	s.binConns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.binConns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	fatal := func(err error) {
+		var ack []byte
+		ack = AppendAckFrame(ack, ackStatusFor(err), 0, err.Error())
+		_, _ = bw.Write(ack)
+		_ = bw.Flush()
+	}
+
+	var pro [binPrologueLen]byte
+	if _, err := io.ReadFull(br, pro[:]); err != nil {
+		return
+	}
+	if err := CheckBinPrologue(pro[:]); err != nil {
+		fatal(err)
+		return
+	}
+	bs := newBinSession(s)
+	hdr := make([]byte, binFrameHeaderLen)
+	var payload []byte // reallocated only on growth; 8-aligned, so the zero-copy view applies
+	var ackBuf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return // EOF: the writer is done
+		}
+		plen, crc, err := parseBinFrameHeader(hdr)
+		if err != nil {
+			fatal(err)
+			return
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		if crc32.Checksum(payload, castagnoliBin) != crc {
+			fatal(fmt.Errorf("%w: CRC mismatch", ErrBadFrame))
+			return
+		}
+		fr, err := parseBinPayload(payload, bs.vals, bs.wts)
+		if err != nil {
+			fatal(err)
+			return
+		}
+		accepted, err := bs.handleFrame(fr)
+		if fr.typ != binFrameBatch {
+			if err != nil {
+				fatal(err)
+				return
+			}
+			continue
+		}
+		ackBuf = ackBuf[:0]
+		if err != nil {
+			ackBuf = AppendAckFrame(ackBuf, ackStatusFor(err), 0, err.Error())
+		} else {
+			ackBuf = AppendAckFrame(ackBuf, ackOK, uint32(accepted), "")
+		}
+		if _, err := bw.Write(ackBuf); err != nil {
+			return
+		}
+		// Flush when the pipeline has drained: while more frames are already
+		// buffered the acks batch up with them, one syscall per burst.
+		if br.Buffered() < binFrameHeaderLen {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

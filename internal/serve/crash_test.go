@@ -73,6 +73,16 @@ func runCrashLife(t *testing.T, seed int64) {
 	var acked []float64
 	var failed []float64 // the single batch whose ack failed, if any
 
+	// Half the seeds ingest through the pipelined (binary-path) WAL append
+	// instead of the plain one, so every fault kind hits the group-commit
+	// committer too. Driven sequentially, each commit group holds exactly
+	// one frame, which keeps the two-candidate oracle invariant intact.
+	binPath := seed%8 >= 4
+	ingest1 := s1.ingestBatch
+	if binPath {
+		ingest1 = s1.ingestBatchPipelined
+	}
+
 	// The fault fires partway through the stream; which kind depends on the
 	// seed so the suite as a whole covers all of them.
 	faultAt := 1 + rng.Intn(30)
@@ -111,7 +121,7 @@ func runCrashLife(t *testing.T, seed int64) {
 		}
 		batch := data[:n]
 		data = data[n:]
-		if err := s1.ingestBatch("lat", batch); err != nil {
+		if err := ingest1("lat", batch); err != nil {
 			// First failed ack ends the life: the oracle stays two-candidate
 			// (acked, or acked plus exactly this batch).
 			failed = batch
@@ -145,7 +155,13 @@ func runCrashLife(t *testing.T, seed int64) {
 	// The recovered server keeps working: more ingest, a graceful shutdown
 	// (final checkpoint + WAL prune), and a third life must still agree.
 	extra := permutation(200)
-	if err := s2.ingestBatch("lat", extra); err != nil {
+	ingest2 := s2.ingestBatch
+	if binPath {
+		// The pipelined path also has to survive recovery AND the Shutdown
+		// below, which drains the committer before sealing the log.
+		ingest2 = s2.ingestBatchPipelined
+	}
+	if err := ingest2("lat", extra); err != nil {
 		t.Fatalf("ingest after recovery: %v", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

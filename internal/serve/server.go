@@ -124,6 +124,13 @@ type Server struct {
 	httpSrv *http.Server
 	stop    chan struct{}
 	loops   sync.WaitGroup
+
+	// Binary ingest carrier state (see binhandler.go): the live listeners
+	// and connections ServeBinary has accepted, torn down by Shutdown.
+	binLns    []net.Listener
+	binConns  map[net.Conn]struct{}
+	binClosed bool
+	binWG     sync.WaitGroup
 }
 
 // New wraps reg in a Server and recovers its durable state: the checkpoint
@@ -138,6 +145,7 @@ func New(reg *Registry, opt Options) (*Server, error) {
 		return nil, err
 	}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /ingest/bin", s.handleIngestBin)
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
 	s.mux.HandleFunc("POST /rotate", s.handleRotate)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -249,6 +257,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			first = err
 		}
 	}
+	s.closeBinary()
 	if stop != nil {
 		close(stop)
 	}
@@ -301,6 +310,7 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrInvalidMetricName), errors.Is(err, ErrWindowingDisabled), errors.Is(err, ErrNaN),
 		errors.Is(err, ErrInvalidBackend), errors.Is(err, ErrBackendMismatch),
 		errors.Is(err, ErrWeightsUnsupported), errors.Is(err, ErrWeightMismatch),
+		errors.Is(err, ErrBadFrame), errors.Is(err, ErrUnknownMetricID),
 		errors.Is(err, quantile.ErrUnknownBackend):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrDegraded):

@@ -136,6 +136,11 @@ type Log struct {
 	tainted  bool
 	closed   bool
 	appended int64
+
+	// pipeOnce/pipeState lazily attach the group-commit pipeline behind
+	// AppendPipelined (see pipeline.go); protected by pipeOnce, not mu.
+	pipeOnce  sync.Once
+	pipeState *pipeline
 }
 
 // Open scans dir for existing segments (tolerating torn tails exactly like
@@ -364,8 +369,12 @@ func (l *Log) Prune(covered uint64) (int, error) {
 	return removed, firstErr
 }
 
-// Close seals the current segment. Idempotent.
+// Close seals the current segment. Idempotent. A running group-commit
+// pipeline is drained first — queued pipelined batches are committed (or
+// failed) before the segment seals, and later AppendPipelined calls get
+// ErrClosed.
 func (l *Log) Close() error {
+	l.stopPipeline()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
