@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-gate bench bench-json bench-gate reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke
+.PHONY: all build test race cover cover-gate bench bench-json bench-gate reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke chaos
 
 all: build test
 
@@ -25,13 +25,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/ ./internal/wal/ ./internal/faultfs/
+	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/ ./internal/wal/ ./internal/faultfs/ ./internal/faultnet/
 
 # crashtest runs the fault-injection harness under the race detector: seeded
 # kill-and-restart lives (ENOSPC, short writes, failed fsyncs, hard crashes)
 # plus the degraded-mode lifecycle.
 crashtest:
 	$(GO) test -race -count=1 -run 'TestCrashRecoveryNoAckedLoss|TestDegradedModeServing|TestCheckpointDurableUnderCrash|TestWALRecoveryRealFS' ./internal/serve/
+
+# chaos runs the exactly-once binary-ingest harness under the race detector:
+# each seed is an independent deterministic schedule of network faults
+# (latency, mid-frame resets, ack blackholes, full severs), hard server kills
+# with torn-page power loss, and graceful restarts, with a retrying sessioned
+# client streaming throughout. The differential proof per seed: the recovered
+# registry holds every acknowledged value exactly once.
+CHAOS_SEEDS ?= 40
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run TestChaosExactlyOnce ./internal/serve/
 
 # fuzz-smoke gives every fuzz target a short budget; CI runs it after check.
 FUZZTIME ?= 10s

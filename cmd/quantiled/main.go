@@ -32,6 +32,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8126", "listen address")
 		binAddr    = flag.String("bin-addr", "", "binary ingest listen address, e.g. :8127 (empty disables the TCP binary listener; POST /ingest/bin always works)")
+		binIdle    = flag.Duration("bin-idle-timeout", 0, "close a binary ingest connection idle between frames this long (0 = 2m default, negative disables)")
+		binIO      = flag.Duration("bin-io-timeout", 0, "deadline for one binary frame read or ack write once started (0 = 30s default, negative disables)")
 		epsilon    = flag.Float64("epsilon", 0.001, "all-time rank-error tolerance per metric")
 		n          = flag.Int64("n", 50_000_000, "all-time stream capacity the guarantee is sized for, per metric")
 		shards     = flag.Int("shards", 0, "writer shards per metric (0 = one per core)")
@@ -95,6 +97,8 @@ func main() {
 		WALSync:         syncPolicy,
 		WALSyncEvery:    *walEvery,
 		WALSegmentBytes: *walSegment,
+		BinIdleTimeout:  *binIdle,
+		BinIOTimeout:    *binIO,
 		EnablePprof:     *pprofOn,
 		Logf:            log.Printf,
 	})

@@ -8,8 +8,11 @@
 // The generator is open-loop: batch send times are scheduled from -rate
 // alone, never from ack arrival, so a slow server accumulates queueing
 // delay instead of silently throttling the offered load. Each connection
-// pipelines up to -inflight unacked batches, matching send timestamps
-// against the server's in-order acks.
+// runs a resilient sessioned client (MRLB v2): up to -inflight unacked
+// batches pipeline on the wire, lost connections are retried with capped
+// exponential backoff, and unacknowledged batches replay on reconnect with
+// exactly-once delivery. -legacy selects the v1 at-most-once protocol, and
+// -breaker degrades a persistently unreachable server to drop-with-count.
 //
 // Usage:
 //
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -60,17 +64,28 @@ var (
 	blocks    = flag.Int("blocks", 64, "block count for the blocked arrival order")
 	latMetric = flag.String("latency-metric", "__load.latency", "metric to push observed ack latencies (ms) into (empty disables)")
 	latEvery  = flag.Duration("latency-every", time.Second, "period between latency pushes")
+
+	legacy     = flag.Bool("legacy", false, "speak MRLB v1: no sessions, so a batch whose ack is lost is abandoned (at most once) instead of replayed")
+	session    = flag.Int64("session", 0, "base client session id; connection i uses session+i (0 = random per connection)")
+	retryMin   = flag.Duration("retry-min", 100*time.Millisecond, "reconnect/retry backoff floor")
+	retryMax   = flag.Duration("retry-max", 5*time.Second, "reconnect/retry backoff cap")
+	ackTimeout = flag.Duration("ack-timeout", 10*time.Second, "deadline for one ack read before tearing down and reconnecting")
+	breaker    = flag.Int("breaker", 8, "consecutive connection failures that open the circuit breaker (new batches dropped-with-count instead of blocking; negative disables)")
 )
 
 // counters aggregates across connections; all fields are atomics.
 type counters struct {
-	batches      atomic.Int64 // batch frames written
-	values       atomic.Int64 // values written
-	acked        atomic.Int64 // acks received
+	batches      atomic.Int64 // batches handed to the client (enqueued)
+	values       atomic.Int64 // values handed to the client
+	acked        atomic.Int64 // batches acknowledged applied
 	valuesAcked  atomic.Int64 // values the acks accepted
-	ackErrors    atomic.Int64 // acks with nonzero status
+	rejected     atomic.Int64 // batches the server refused as bad requests
+	breakerDrops atomic.Int64 // batches dropped by an open circuit breaker
+	maybeApplied atomic.Int64 // v1 batches abandoned after a lost ack
+	reconnects   atomic.Int64 // connections re-established after the first
 	dropped      atomic.Int64 // latency samples dropped (collector backlog)
-	lastErr      atomic.Value // string: most recent ack error message
+	downgraded   atomic.Bool  // a v1-only server forced the at-most-once protocol
+	lastErr      atomic.Value // string: most recent delivery error message
 	transportErr atomic.Value // string: most recent connection failure
 }
 
@@ -121,58 +136,52 @@ func main() {
 	}
 }
 
-// runConn owns one connection: a writer loop paces and pipelines batch
-// frames while a reader goroutine matches the server's in-order acks
-// against a FIFO of send timestamps.
+// runConn owns one connection through the resilient serve.BinClient: it
+// paces batches open-loop and hands them to Send, which pipelines up to
+// -inflight unacked batches, retries with capped exponential backoff,
+// reconnects, and — in the default sessioned (MRLB v2) mode — replays
+// unacknowledged batches with exactly-once semantics. Ack latencies arrive
+// through the OnAck callback, measured from enqueue so retries and
+// reconnects are *in* the reported distribution, not hidden by it.
 func runConn(ctx context.Context, idx int, interval time.Duration, start time.Time, lats chan<- time.Duration, stats *counters) error {
 	src, err := buildSource(*kind, int64(*cycle), *seed+int64(idx))
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		return fmt.Errorf("dial %s: %w", *addr, err)
+	var sid uint64
+	if *session != 0 {
+		sid = uint64(*session) + uint64(idx)
 	}
-	defer conn.Close()
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	br := bufio.NewReaderSize(conn, 1<<12)
-
-	hello := serve.AppendBinPrologue(nil)
-	hello = serve.AppendDictFrame(hello, 1, *metric, *backend)
-	if _, err := bw.Write(hello); err != nil {
-		return err
-	}
-
-	// The reader drains `times` even after a transport error so the writer
-	// can never block forever on a full pipeline.
-	times := make(chan time.Time, *inflight)
-	readErr := make(chan error, 1)
-	go func() {
-		for t0 := range times {
-			ack, err := serve.ReadBinAck(br)
-			if err != nil {
-				for range times {
-				}
-				readErr <- err
-				return
-			}
+	client, err := serve.NewBinClient(serve.BinClientOptions{
+		Addr:             *addr,
+		Metric:           *metric,
+		Backend:          *backend,
+		SessionID:        sid,
+		Legacy:           *legacy,
+		RetryMin:         *retryMin,
+		RetryMax:         *retryMax,
+		AckTimeout:       *ackTimeout,
+		MaxInflight:      *inflight,
+		BreakerThreshold: *breaker,
+		OnAck: func(values int, latency time.Duration) {
 			stats.acked.Add(1)
-			stats.valuesAcked.Add(int64(ack.Accepted))
-			if !ack.OK() {
-				stats.ackErrors.Add(1)
-				stats.lastErr.Store(ack.Msg)
-			}
+			stats.valuesAcked.Add(int64(values))
 			select {
-			case lats <- time.Since(t0):
+			case lats <- latency:
 			default:
 				stats.dropped.Add(1)
 			}
-		}
-		readErr <- nil
-	}()
+		},
+		Logf: func(format string, args ...any) {
+			log.Printf("conn %d: "+format, append([]any{idx}, args...)...)
+		},
+		Rand: rand.New(rand.NewSource(*seed + int64(idx))),
+	})
+	if err != nil {
+		return err
+	}
 
 	vals := make([]float64, 0, *batchSize)
-	buf := make([]byte, 0, 32+8*(*batchSize))
 	deadline := start.Add(*duration)
 	next := time.Now()
 	for ctx.Err() == nil && time.Now().Before(deadline) {
@@ -194,26 +203,34 @@ func runConn(ctx context.Context, idx int, interval time.Duration, start time.Ti
 			}
 			vals = append(vals, v)
 		}
-		buf = serve.AppendBatchFrame(buf[:0], 1, vals, nil)
-		times <- time.Now()
-		if _, err = bw.Write(buf); err != nil {
-			break
+		switch err := client.Send(vals); {
+		case err == nil:
+			stats.batches.Add(1)
+			stats.values.Add(int64(len(vals)))
+		case errors.Is(err, serve.ErrBreakerOpen):
+			// Degraded to drop-with-count: the batch was never enqueued.
+			stats.breakerDrops.Add(1)
+		case errors.Is(err, serve.ErrMaybeApplied):
+			// v1 only: *earlier* batches were abandoned in the ack-lost
+			// ambiguity; the batch just handed over is still queued.
+			stats.batches.Add(1)
+			stats.values.Add(int64(len(vals)))
+			stats.lastErr.Store(err.Error())
+		default:
+			return err
 		}
-		if err = bw.Flush(); err != nil {
-			break
-		}
-		stats.batches.Add(1)
-		stats.values.Add(int64(len(vals)))
 	}
-	bw.Flush()
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.CloseWrite() // the server acks the tail, then closes
+	if err := client.Flush(); err != nil {
+		stats.lastErr.Store(err.Error())
 	}
-	close(times)
-	if rerr := <-readErr; rerr != nil && err == nil {
-		err = rerr
+	st := client.Stats()
+	stats.reconnects.Add(int64(st.Reconnects))
+	stats.rejected.Add(int64(st.RejectedBatches))
+	stats.maybeApplied.Add(int64(st.MaybeAppliedBatches))
+	if client.Downgraded() {
+		stats.downgraded.Store(true)
 	}
-	return err
+	return client.Close()
 }
 
 // collect folds latency samples into the local estimator and periodically
@@ -333,10 +350,22 @@ func report(est *quantile.KLL, stats *counters, elapsed time.Duration) {
 	fmt.Printf(")\n")
 	fmt.Printf("  sent    %d batches / %d values (%.0f values/sec)\n",
 		stats.batches.Load(), stats.values.Load(), float64(stats.values.Load())/sec)
-	fmt.Printf("  acked   %d batches / %d values accepted, %d error acks\n",
-		stats.acked.Load(), stats.valuesAcked.Load(), stats.ackErrors.Load())
+	fmt.Printf("  acked   %d batches / %d values accepted, %d rejected\n",
+		stats.acked.Load(), stats.valuesAcked.Load(), stats.rejected.Load())
+	if n := stats.reconnects.Load(); n > 0 {
+		fmt.Printf("  reconnected %d times (unacked batches replayed, exactly once)\n", n)
+	}
+	if n := stats.breakerDrops.Load(); n > 0 {
+		fmt.Printf("  breaker dropped %d batches while open (degraded, counted, never sent)\n", n)
+	}
+	if n := stats.maybeApplied.Load(); n > 0 {
+		fmt.Printf("  MAYBE APPLIED: %d v1 batches abandoned after a lost ack (rerun without -legacy for exactly-once)\n", n)
+	}
+	if stats.downgraded.Load() {
+		fmt.Printf("  downgraded to MRLB v1: the server predates sessions; delivery was at most once\n")
+	}
 	if msg, ok := stats.lastErr.Load().(string); ok {
-		fmt.Printf("  last error ack: %s\n", msg)
+		fmt.Printf("  last delivery error: %s\n", msg)
 	}
 	if msg, ok := stats.transportErr.Load().(string); ok {
 		fmt.Printf("  transport error: %s\n", msg)

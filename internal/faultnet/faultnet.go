@@ -1,0 +1,285 @@
+// Package faultnet injects network faults into net.Conn traffic the way
+// internal/faultfs injects filesystem faults into file IO: a seeded,
+// deterministic-per-seed Injector wraps connections (via a dialer or a
+// listener) and perturbs them with added latency, partial writes followed
+// by a reset, read resets, and ack blackholes (the connection keeps
+// accepting writes but delivers no more reads — the peer's answer vanishes
+// on the wire). The chaos harness in internal/serve drives the binary
+// ingest protocol through it to prove the exactly-once invariant end to
+// end.
+//
+// All faults are decided per IO call from one seeded source, so a failing
+// chaos seed replays the same fault schedule (modulo goroutine
+// interleaving). Disable() turns the injector into a transparent
+// pass-through — e.g. for a harness's final drain, which must be able to
+// succeed — and SeverAll() hard-closes every live wrapped connection at
+// once, the "pull the network cable" primitive.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error wrapped connections return for injected resets,
+// so tests can tell injected faults from real ones.
+var ErrInjected = errors.New("faultnet: injected connection fault")
+
+// Options sets the fault mix. All probabilities are per IO call in [0, 1];
+// zero values inject nothing of that kind.
+type Options struct {
+	// Seed seeds the fault schedule; the same seed and traffic replay the
+	// same faults.
+	Seed int64
+	// LatencyMax, when positive, delays each Read and Write by a uniform
+	// random duration in [0, LatencyMax).
+	LatencyMax time.Duration
+	// WriteFailProb is the chance one Write delivers only a random prefix
+	// of its bytes and then resets the connection — a mid-frame cut.
+	WriteFailProb float64
+	// ReadFailProb is the chance one Read resets the connection instead of
+	// delivering data.
+	ReadFailProb float64
+	// BlackholeProb is the chance a Read flips the connection into an ack
+	// blackhole: from then on reads absorb and discard everything the peer
+	// sends (deadlines still fire), while writes keep flowing. The peer
+	// believes it answered; this side never hears it.
+	BlackholeProb float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Delays        uint64
+	PartialWrites uint64
+	ReadResets    uint64
+	Blackholes    uint64
+	Severed       uint64
+}
+
+// Injector wraps connections and injects faults per Options. Safe for
+// concurrent use by many connections.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	opt      Options
+	disabled bool
+	conns    map[*Conn]struct{}
+	stats    Stats
+}
+
+// New returns an Injector with the given fault mix.
+func New(opt Options) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(opt.Seed)),
+		opt:   opt,
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Disable turns every current and future wrapped connection into a
+// transparent pass-through. Enable turns fault injection back on.
+func (in *Injector) Disable() {
+	in.mu.Lock()
+	in.disabled = true
+	in.mu.Unlock()
+}
+
+// Enable re-arms fault injection after Disable.
+func (in *Injector) Enable() {
+	in.mu.Lock()
+	in.disabled = false
+	in.mu.Unlock()
+}
+
+// SeverAll closes every live wrapped connection — both directions, at
+// once. New connections are unaffected.
+func (in *Injector) SeverAll() {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.stats.Severed += uint64(len(conns))
+	in.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Wrap returns conn with fault injection attached.
+func (in *Injector) Wrap(conn net.Conn) *Conn {
+	c := &Conn{Conn: conn, in: in}
+	in.mu.Lock()
+	in.conns[c] = struct{}{}
+	in.mu.Unlock()
+	return c
+}
+
+// Dialer wraps dial so every connection it makes is fault-injected. A nil
+// dial means plain TCP.
+func (in *Injector) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return func(addr string) (net.Conn, error) {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(conn), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(conn), nil
+}
+
+// decide rolls the fault dice for one IO call under the injector's lock:
+// it returns the injected latency, whether to fail the call, and — for
+// writes — the prefix length to deliver before failing.
+func (in *Injector) decide(failProb float64, n int) (delay time.Duration, fail bool, prefix int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.disabled {
+		return 0, false, 0
+	}
+	if in.opt.LatencyMax > 0 {
+		delay = time.Duration(in.rng.Int63n(int64(in.opt.LatencyMax)))
+		in.stats.Delays++
+	}
+	if failProb > 0 && in.rng.Float64() < failProb {
+		fail = true
+		if n > 0 {
+			prefix = in.rng.Intn(n)
+		}
+	}
+	return delay, fail, prefix
+}
+
+// blackholeRoll decides whether a read flips into the blackhole state.
+func (in *Injector) blackholeRoll() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.disabled || in.opt.BlackholeProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.opt.BlackholeProb {
+		in.stats.Blackholes++
+		return true
+	}
+	return false
+}
+
+func (in *Injector) note(counter *uint64) {
+	in.mu.Lock()
+	*counter++
+	in.mu.Unlock()
+}
+
+func (in *Injector) forget(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+}
+
+// Conn is one fault-injected connection.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	mu         sync.Mutex
+	blackholed bool
+	closed     bool
+}
+
+// Read delivers data from the peer, unless a fault says otherwise: it may
+// be delayed, reset the connection, or flip into the blackhole state where
+// everything the peer sends is read and discarded (so deadlines set via
+// SetReadDeadline still fire, but no byte ever arrives).
+func (c *Conn) Read(p []byte) (int, error) {
+	delay, fail, _ := c.in.decide(c.in.opt.ReadFailProb, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		c.in.note(&c.in.stats.ReadResets)
+		_ = c.Close()
+		return 0, ErrInjected
+	}
+	c.mu.Lock()
+	hole := c.blackholed
+	if !hole && c.in.blackholeRoll() {
+		c.blackholed = true
+		hole = true
+	}
+	c.mu.Unlock()
+	if !hole {
+		return c.Conn.Read(p)
+	}
+	// Blackhole: absorb the peer's bytes forever; only errors (deadline,
+	// close) escape.
+	for {
+		if _, err := c.Conn.Read(p); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Write delivers p, unless a fault cuts it short: a partial-write fault
+// delivers a random prefix, then closes the connection — the peer sees a
+// torn frame and a reset.
+func (c *Conn) Write(p []byte) (int, error) {
+	delay, fail, prefix := c.in.decide(c.in.opt.WriteFailProb, len(p))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !fail {
+		return c.Conn.Write(p)
+	}
+	c.in.note(&c.in.stats.PartialWrites)
+	n := 0
+	if prefix > 0 {
+		n, _ = c.Conn.Write(p[:prefix])
+	}
+	_ = c.Close()
+	return n, ErrInjected
+}
+
+// Close closes the underlying connection and detaches from the injector.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if already {
+		return nil
+	}
+	c.in.forget(c)
+	return c.Conn.Close()
+}

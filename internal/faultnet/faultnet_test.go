@@ -1,0 +1,173 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of a TCP loopback connection; real sockets
+// (not net.Pipe) so deadlines and half-close behave like production.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil || err != nil {
+		t.Fatalf("dial: %v / accept: %v", cerr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestPassThroughWhenQuiet(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Options{Seed: 1}) // no fault probabilities set
+	wrapped := in.Wrap(cl)
+	msg := []byte("hello across the wire")
+	go func() { _, _ = wrapped.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if st := in.Stats(); st.PartialWrites != 0 || st.ReadResets != 0 || st.Blackholes != 0 {
+		t.Fatalf("quiet injector recorded faults: %+v", st)
+	}
+}
+
+func TestWriteFaultDeliversPrefixThenResets(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Options{Seed: 42, WriteFailProb: 1})
+	wrapped := in.Wrap(cl)
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	n, err := wrapped.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got n=%d err=%v", n, err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write delivered everything (%d bytes)", n)
+	}
+	// The peer sees exactly the prefix, then EOF/reset.
+	got, _ := io.ReadAll(sv)
+	if len(got) != n {
+		t.Fatalf("peer read %d bytes, writer reported %d", len(got), n)
+	}
+	if in.Stats().PartialWrites != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+	// The wrapped conn is closed; further writes fail.
+	if _, err := wrapped.Write(msg); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+}
+
+func TestReadReset(t *testing.T) {
+	cl, _ := pipePair(t)
+	in := New(Options{Seed: 7, ReadFailProb: 1})
+	wrapped := in.Wrap(cl)
+	buf := make([]byte, 16)
+	if _, err := wrapped.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if in.Stats().ReadResets != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+}
+
+func TestBlackholeAbsorbsUntilDeadline(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Options{Seed: 3, BlackholeProb: 1})
+	wrapped := in.Wrap(cl)
+	go func() {
+		for i := 0; i < 4; i++ {
+			_, _ = sv.Write([]byte("the answer you will never hear"))
+		}
+	}()
+	_ = wrapped.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	_, err := wrapped.Read(buf)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want deadline timeout out of blackholed read, got %v", err)
+	}
+	if in.Stats().Blackholes != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+}
+
+func TestDisableStopsFaults(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Options{Seed: 42, WriteFailProb: 1, ReadFailProb: 1})
+	in.Disable()
+	wrapped := in.Wrap(cl)
+	msg := []byte("calm seas")
+	go func() { _, _ = wrapped.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatalf("read with disabled injector: %v", err)
+	}
+}
+
+func TestSeverAllClosesLiveConns(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Options{Seed: 9})
+	wrapped := in.Wrap(cl)
+	in.SeverAll()
+	if _, err := wrapped.Write([]byte("x")); err == nil {
+		t.Fatal("write after SeverAll succeeded")
+	}
+	buf := make([]byte, 4)
+	_ = sv.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := sv.Read(buf); err == nil {
+		t.Fatal("peer read after SeverAll delivered data")
+	}
+	if in.Stats().Severed != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Options{Seed: 5, ReadFailProb: 1})
+	ln := in.Listener(raw)
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 8)
+		// The accepted side is wrapped: its read must inject a reset.
+		if _, err := conn.Read(buf); !errors.Is(err, ErrInjected) {
+			t.Errorf("accepted conn read: want ErrInjected, got %v", err)
+		}
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, _ = cl.Write([]byte("ping"))
+	time.Sleep(50 * time.Millisecond)
+}

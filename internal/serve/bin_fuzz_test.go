@@ -18,6 +18,10 @@ func FuzzBinaryIngestFrame(f *testing.F) {
 	f.Add(AppendBatchFrame(nil, 1, []float64{1.5, 2.5, -9}, nil), uint16(17), byte(0x40))
 	f.Add(AppendBatchFrame(nil, 2, []float64{9.5, 11}, []float64{12, 3}), uint16(23), byte(2))
 	f.Add(AppendAckFrame(nil, ackUnavailable, 0, "wal: sync: injected"), uint16(5), byte(4))
+	f.Add(AppendBatchSeqFrame(nil, 1, 7, []float64{1.5, 2.5}, nil), uint16(19), byte(0x20))
+	f.Add(AppendSessionFrame(nil, 0xfeedface), uint16(11), byte(8))
+	f.Add(AppendSessionAckFrame(nil, ackOK, 42), uint16(13), byte(0x10))
+	f.Add([]byte("MRLB\x02\x00\x00\x00garbage after a fine v2 prologue"), uint16(12), byte(0xff))
 	f.Add([]byte("MRLB\x01\x00\x00\x00garbage after a fine prologue"), uint16(12), byte(0xff))
 	f.Fuzz(func(t *testing.T, data []byte, pos uint16, flip byte) {
 		// --- Shape 1: raw fuzz bytes as a frame stream. Parse must never
@@ -56,7 +60,11 @@ func FuzzBinaryIngestFrame(f *testing.F) {
 			AppendDictFrame(nil, uint32(pos), name, ""),
 			AppendBatchFrame(nil, uint32(pos), values, nil),
 			AppendBatchFrame(nil, uint32(pos), values, weights),
+			AppendBatchSeqFrame(nil, uint32(pos), uint64(pos)+1, values, nil),
+			AppendBatchSeqFrame(nil, uint32(pos), uint64(pos)+1, values, weights),
 			AppendAckFrame(nil, flip, uint32(len(values)), name),
+			AppendSessionFrame(nil, uint64(pos)+1),
+			AppendSessionAckFrame(nil, flip, uint64(pos)),
 		}
 		for i, frame := range clean {
 			fr, restf, err := parseBinFrame(frame, nil, nil)

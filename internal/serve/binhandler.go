@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"time"
 )
 
 // maxBinDictEntries caps one stream's interning table; a writer needing
@@ -15,17 +16,50 @@ import (
 const maxBinDictEntries = 1 << 16
 
 // binSession is the per-stream state of one binary ingest carrier: the
-// id → metric-name interning table plus the decode scratch for hosts where
-// the zero-copy value view is unavailable.
+// stream's negotiated version, the id → metric-name interning table, the
+// client session binding (v2 streams that declared one), and the decode
+// scratch for hosts where the zero-copy value view is unavailable.
 type binSession struct {
-	s    *Server
-	dict map[uint32]string
-	vals []float64
-	wts  []float64
+	s       *Server
+	version byte
+	sid     uint64        // declared client session id, 0 until bound
+	ent     *sessionEntry // pinned dedup entry for sid, nil until bound
+	dict    map[uint32]string
+	vals    []float64
+	wts     []float64
 }
 
-func newBinSession(s *Server) *binSession {
-	return &binSession{s: s, dict: make(map[uint32]string)}
+func newBinSession(s *Server, version byte) *binSession {
+	return &binSession{s: s, version: version, dict: make(map[uint32]string)}
+}
+
+// close releases the stream's pin on its session entry so the dedup table
+// can evict it once idle. Idempotent.
+func (bs *binSession) close() {
+	if bs.ent != nil {
+		bs.s.reg.sessions.release(bs.ent)
+		bs.ent = nil
+	}
+}
+
+// declareSession binds the stream to the client session sid and returns the
+// session's current high-water mark (the highest sequenced batch already
+// applied) for the sessionAck answer. Re-declaring the same session is an
+// idempotent re-read — a retried POST /ingest/bin body starts with its
+// session frame every time — but a stream serves one session only.
+func (bs *binSession) declareSession(sid uint64) (uint64, error) {
+	if bs.version < binVersion2 {
+		return 0, fmt.Errorf("%w: session frame on a version-%d stream", ErrBadFrame, bs.version)
+	}
+	if bs.ent != nil {
+		if sid != bs.sid {
+			return 0, fmt.Errorf("%w: stream already bound to session %d", ErrBadFrame, bs.sid)
+		}
+		return bs.ent.hw.Load(), nil
+	}
+	bs.sid = sid
+	bs.ent = bs.s.reg.sessions.acquire(sid)
+	return bs.ent.hw.Load(), nil
 }
 
 // handleFrame applies one parsed frame: dict frames extend the interning
@@ -54,7 +88,12 @@ func (bs *binSession) handleFrame(fr binParsed) (int, error) {
 			return 0, fmt.Errorf("%w: id %d (send a dict frame first)", ErrUnknownMetricID, fr.id)
 		}
 		var err error
-		if fr.weighted {
+		if fr.sequenced {
+			if bs.ent == nil {
+				return 0, fmt.Errorf("%w: sequenced batch before a session frame", ErrBadFrame)
+			}
+			err = bs.s.ingestBatchSeq(name, fr.values, fr.weights, bs.ent, bs.sid, fr.seq)
+		} else if fr.weighted {
 			err = bs.s.ingestWeightedBatchPipelined(name, fr.values, fr.weights)
 		} else {
 			err = bs.s.ingestBatchPipelined(name, fr.values)
@@ -63,9 +102,79 @@ func (bs *binSession) handleFrame(fr binParsed) (int, error) {
 			return 0, err
 		}
 		return len(fr.values), nil
-	default: // binFrameAck: parse accepts it (clients read acks), servers must not
+	case binFrameSession:
+		_, err := bs.declareSession(fr.sid)
+		return 0, err
+	default: // binFrameAck/binFrameSessionAck: parse accepts them (clients read acks), writers must not send them
 		return 0, fmt.Errorf("%w: unexpected frame type %d from a writer", ErrBadFrame, fr.typ)
 	}
+}
+
+// ingestBatchSeq is the exactly-once ingest path for sequenced batches
+// (weighted when ws is non-nil): dedup check, WAL append, apply, high-water
+// advance — all serialised under the session entry's mutex, so two
+// connections replaying the same session cannot interleave and double-apply.
+// The checkpoint gate is taken inside the entry mutex; the checkpointer
+// takes the gate and then only the table mutex (never an entry mutex, hw is
+// atomic), so the lock order is acyclic.
+//
+// A seq at or below the high-water mark is a retry of a batch the server
+// already counted: it is acknowledged as accepted without being applied,
+// before the degraded check — a duplicate costs no durability, so shedding
+// it would only stall the client's replay for nothing.
+//
+// Any error out of here is FATAL for the stream (error ack, then close; see
+// serveBinaryConn). The single high-water mark means "every seq at or below
+// is applied" only while application is a contiguous prefix of the client's
+// sequence numbers; if a failed batch drew a soft error with the stream left
+// open, the next batch would advance the mark past the hole and the client's
+// retry of the failed batch would be swallowed as a duplicate.
+func (s *Server) ingestBatchSeq(name string, vs, ws []float64, ent *sessionEntry, sid, seq uint64) error {
+	weighted := ws != nil
+	var err error
+	if weighted {
+		err = s.reg.ValidateIngestWeighted(name, vs, ws)
+	} else {
+		err = s.reg.ValidateIngest(name, vs)
+	}
+	if err != nil {
+		return err
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if seq <= ent.hw.Load() {
+		return nil
+	}
+	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
+		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wal != nil {
+		recName, recVals := s.reg.walRecordName(name), vs
+		if weighted {
+			recName, recVals = weightedWALPrefix+name, interleaveWeighted(vs, ws)
+		}
+		if _, err := s.wal.AppendPipelinedSeq(recName, recVals, sid, seq); err != nil {
+			s.health.noteWAL(err)
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.health.noteWAL(nil)
+	}
+	if weighted {
+		err = s.reg.IngestWeighted(name, vs, ws)
+	} else {
+		err = s.reg.Ingest(name, vs)
+	}
+	if err != nil {
+		// The WAL may now hold a record for (sid, seq) that was never
+		// applied here, but the mark was not advanced and the stream dies:
+		// the client's retry re-logs and applies it, and recovery dedups the
+		// two records via replayAdvance.
+		return err
+	}
+	ent.hw.Store(seq)
+	return nil
 }
 
 // ingestBatchPipelined is ingestBatch on the group-commit WAL path: the
@@ -114,8 +223,11 @@ func (s *Server) ingestWeightedBatchPipelined(name string, vs, ws []float64) err
 
 // handleIngestBin serves POST /ingest/bin: the body is one binary ingest
 // stream (prologue + frames) and the response is the same JSON ingest reply
-// as POST /ingest. Within HTTP no ack frames are emitted — the status code
-// is the ack.
+// as POST /ingest. Within HTTP no ack or sessionAck frames are emitted — the
+// status code is the ack. Session frames and sequenced batches (v2 bodies)
+// are honoured, so a retried POST of the same body is idempotent; the
+// duplicate batches are counted as accepted, exactly as their originals
+// were.
 func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
 		s.writeIngestError(w, fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr))
@@ -134,13 +246,15 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
 		return
 	}
-	if err := CheckBinPrologue(sc.body); err != nil {
+	version, err := parseBinPrologue(sc.body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// The pooled body buffer starts 8-aligned and the prologue is 8 bytes,
 	// so every frame payload below parses with the zero-copy value view.
-	bs := newBinSession(s)
+	bs := newBinSession(s, version)
+	defer bs.close()
 	rest := sc.body[binPrologueLen:]
 	var resp ingestResponse
 	for len(rest) > 0 {
@@ -169,11 +283,21 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 
 // ackStatus compresses the HTTP status taxonomy into the ack frame's status
 // byte. 0 is success; anything else carries the error message.
+//
+// "Retry" comes with a version caveat. On a v2 stream with a session,
+// sequenced batches are deduplicated by sequence number, so retrying (after
+// an error ack or a dead connection) is exactly-once. On a v1 stream batch
+// frames carry no identity, so retries are at-most-once ONLY when the error
+// ack itself arrived — the server did not apply the batch. After a lost ack
+// (connection died mid-batch) a v1 retry MAY double-count: the batch could
+// have been applied with its ack never delivered. v1 clients that cannot
+// tolerate duplicates must surface that case to the caller instead of
+// blindly resending (binclient returns ErrMaybeApplied there).
 const (
 	ackOK          = 0
 	ackBadRequest  = 1 // malformed frame, bad metric/backend/weights — do not retry
-	ackDegraded    = 2 // server shedding ingest — retry later
-	ackUnavailable = 3 // batch not made durable — retry
+	ackDegraded    = 2 // server shedding ingest — retry later (see version caveat above)
+	ackUnavailable = 3 // batch not made durable — retry (see version caveat above)
 	ackInternal    = 4
 )
 
@@ -193,10 +317,14 @@ func ackStatusFor(err error) byte {
 // ServeBinary accepts persistent binary ingest connections on ln until
 // Shutdown. Each connection is one stream: prologue, then frames; every
 // batch frame is answered by one ack frame, in order, after its batch is
-// durable under the WAL policy. Ingest failures (bad values, unknown id,
-// degraded server) draw an error ack and the stream continues; framing
-// errors (bad prologue, CRC mismatch, torn frame) draw a final error ack
-// and close the connection.
+// durable under the WAL policy, and every session frame by one sessionAck.
+// On v1 streams ingest failures (bad values, unknown id, degraded server)
+// draw an error ack and the stream continues; on v2 streams every failed
+// batch is fatal (error ack, then close) — the exactly-once high-water mark
+// is only sound while application is a contiguous prefix, so a v2 stream
+// never applies past a failed batch. Framing errors (bad prologue, CRC
+// mismatch, torn frame) draw a final error ack and close the connection on
+// either version.
 func (s *Server) ServeBinary(ln net.Listener) error {
 	s.mu.Lock()
 	if s.binClosed {
@@ -274,9 +402,28 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// Deadline discipline (a hung or slow-loris peer must not pin this
+	// goroutine): waiting for the next frame header gets the idle timeout;
+	// once a frame has started, reading its payload and writing acks get the
+	// tighter IO timeout. Negative options disable either.
+	idle, ioTO := s.opt.BinIdleTimeout, s.opt.BinIOTimeout
+	readDeadline := func(d time.Duration) {
+		if d > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(d))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+	}
+	writeDeadline := func() {
+		if ioTO > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(ioTO))
+		}
+	}
+
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 	fatal := func(err error) {
+		writeDeadline()
 		var ack []byte
 		ack = AppendAckFrame(ack, ackStatusFor(err), 0, err.Error())
 		_, _ = bw.Write(ack)
@@ -284,20 +431,24 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 	}
 
 	var pro [binPrologueLen]byte
+	readDeadline(idle)
 	if _, err := io.ReadFull(br, pro[:]); err != nil {
 		return
 	}
-	if err := CheckBinPrologue(pro[:]); err != nil {
+	version, err := parseBinPrologue(pro[:])
+	if err != nil {
 		fatal(err)
 		return
 	}
-	bs := newBinSession(s)
+	bs := newBinSession(s, version)
+	defer bs.close()
 	hdr := make([]byte, binFrameHeaderLen)
 	var payload []byte // reallocated only on growth; 8-aligned, so the zero-copy view applies
 	var ackBuf []byte
 	for {
+		readDeadline(idle)
 		if _, err := io.ReadFull(br, hdr); err != nil {
-			return // EOF: the writer is done
+			return // EOF: the writer is done (or idled out)
 		}
 		plen, crc, err := parseBinFrameHeader(hdr)
 		if err != nil {
@@ -308,6 +459,7 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			payload = make([]byte, plen)
 		}
 		payload = payload[:plen]
+		readDeadline(ioTO)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
@@ -320,6 +472,23 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			fatal(err)
 			return
 		}
+		if fr.typ == binFrameSession {
+			hw, err := bs.declareSession(fr.sid)
+			if err != nil {
+				fatal(err)
+				return
+			}
+			ackBuf = AppendSessionAckFrame(ackBuf[:0], ackOK, hw)
+			writeDeadline()
+			if _, err := bw.Write(ackBuf); err != nil {
+				return
+			}
+			// The client blocks on this answer before replaying; flush now.
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
 		accepted, err := bs.handleFrame(fr)
 		if fr.typ != binFrameBatch {
 			if err != nil {
@@ -328,12 +497,20 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			}
 			continue
 		}
+		if err != nil && bs.version >= binVersion2 {
+			// Exactly-once discipline: never apply past a failed batch (see
+			// ingestBatchSeq). The client reconnects and replays from the
+			// high-water mark the fresh sessionAck reports.
+			fatal(err)
+			return
+		}
 		ackBuf = ackBuf[:0]
 		if err != nil {
 			ackBuf = AppendAckFrame(ackBuf, ackStatusFor(err), 0, err.Error())
 		} else {
 			ackBuf = AppendAckFrame(ackBuf, ackOK, uint32(accepted), "")
 		}
+		writeDeadline()
 		if _, err := bw.Write(ackBuf); err != nil {
 			return
 		}

@@ -19,21 +19,24 @@ import (
 //
 // A stream is one 8-byte prologue followed by frames:
 //
-//	prologue  'M' 'R' 'L' 'B'  version=1  0 0 0
+//	prologue  'M' 'R' 'L' 'B'  version (1 or 2)  0 0 0
 //	frame     [u32 payloadLen][u32 crc32c(payload)][payload]
 //
 // payloadLen must be a positive multiple of 8 (pad bytes are zero and
 // covered by the CRC), so frames — and therefore payloads — stay 8-aligned
 // relative to the stream start. The payload's first byte selects the type:
 //
-//	dict (1)   type u8 | backendLen u8 | nameLen u16 | id u32
-//	           | backend | name | zero pad to 8
-//	batch (2)  type u8 | flags u8 (bit0 = weighted) | zero u16
-//	           | id u32 | count u32 | zero u32
-//	           | count little-endian f64 values
-//	           | count little-endian f64 weights   (weighted only)
-//	ack (3)    type u8 | status u8 (0 = ok) | msgLen u16 | accepted u32
-//	           | msg | zero pad to 8
+//	dict (1)      type u8 | backendLen u8 | nameLen u16 | id u32
+//	              | backend | name | zero pad to 8
+//	batch (2)     type u8 | flags u8 (bit0 = weighted, bit1 = sequenced)
+//	              | zero u16 | id u32 | count u32 | zero u32
+//	              | seq u64                            (sequenced only)
+//	              | count little-endian f64 values
+//	              | count little-endian f64 weights    (weighted only)
+//	ack (3)       type u8 | status u8 (0 = ok) | msgLen u16 | accepted u32
+//	              | msg | zero pad to 8
+//	session (4)   type u8 | zero u8 | zero u16 | zero u32 | sessionID u64
+//	sessionAck(5) type u8 | status u8 | zero u16 | zero u32 | highWater u64
 //
 // A dict frame interns a metric name (and optional backend) under a
 // writer-chosen id; batch frames then carry the 4-byte id instead of the
@@ -41,24 +44,43 @@ import (
 // zero: the format is canonical, so any accepted frame re-encodes to the
 // exact bytes it arrived as (the fuzz target holds the decoder to this).
 //
+// Version 2 adds exactly-once ingest. A writer declares a nonzero client
+// session id with a session frame; on the TCP carrier the server answers
+// with one sessionAck frame carrying the session's durable high-water mark
+// — the highest batch sequence number it has already applied — so a
+// reconnecting writer can prune its replay queue before resending unacked
+// frames. Batch frames may then set the sequenced flag and carry a
+// per-session, strictly monotonic (from 1) sequence number: the server
+// applies a sequence number at most once, so a retry after a lost ack is
+// acknowledged as a duplicate instead of double-counted. Session and
+// sequenced-batch frames are rejected on version-1 streams, whose batches
+// keep the original at-most-once semantics: a retry after a lost ack MAY
+// double-count (see the ack status taxonomy in binhandler.go).
+//
 // Servers answer each batch frame of a TCP stream with one ack frame, in
 // order. Within the HTTP carrier the response is the usual JSON ingest
-// reply and ack frames never appear.
+// reply and ack frames never appear (session frames are still honoured, so
+// a retried POST /ingest/bin body with sequenced batches is idempotent).
 const (
 	binMagic          = "MRLB"
 	binVersion        = 1
+	binVersion2       = 2
 	binPrologueLen    = 8
 	binFrameHeaderLen = 8 // payloadLen u32 + crc32c u32
 
-	binFrameDict  = 1
-	binFrameBatch = 2
-	binFrameAck   = 3
+	binFrameDict       = 1
+	binFrameBatch      = 2
+	binFrameAck        = 3
+	binFrameSession    = 4
+	binFrameSessionAck = 5
 
-	binDictHeaderLen  = 8
-	binBatchHeaderLen = 16
-	binAckHeaderLen   = 8
+	binDictHeaderLen   = 8
+	binBatchHeaderLen  = 16
+	binAckHeaderLen    = 8
+	binSessionFrameLen = 16
 
 	binFlagWeighted = 1
+	binFlagSeq      = 2
 
 	// maxBinFramePayload bounds one frame: ~1M unweighted values. Anything
 	// larger is a framing error, mirroring the WAL's maxRecordBytes.
@@ -102,26 +124,40 @@ func f64view(b []byte, n int, scratch []float64) []float64 {
 	return scratch
 }
 
-// AppendBinPrologue appends the 8-byte stream prologue.
+// AppendBinPrologue appends the 8-byte version-1 stream prologue
+// (at-most-once batches, no sessions).
 func AppendBinPrologue(buf []byte) []byte {
 	return append(buf, binMagic[0], binMagic[1], binMagic[2], binMagic[3], binVersion, 0, 0, 0)
 }
 
-// CheckBinPrologue validates the 8-byte stream prologue.
-func CheckBinPrologue(b []byte) error {
+// AppendBinPrologueV2 appends the 8-byte version-2 stream prologue; the
+// stream may then carry session frames and sequenced batches.
+func AppendBinPrologueV2(buf []byte) []byte {
+	return append(buf, binMagic[0], binMagic[1], binMagic[2], binMagic[3], binVersion2, 0, 0, 0)
+}
+
+// parseBinPrologue validates the 8-byte stream prologue and returns its
+// version (1 or 2).
+func parseBinPrologue(b []byte) (byte, error) {
 	if len(b) < binPrologueLen {
-		return fmt.Errorf("%w: short prologue (%d bytes)", ErrBadFrame, len(b))
+		return 0, fmt.Errorf("%w: short prologue (%d bytes)", ErrBadFrame, len(b))
 	}
 	if string(b[:4]) != binMagic {
-		return fmt.Errorf("%w: bad magic %q", ErrBadFrame, b[:4])
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadFrame, b[:4])
 	}
-	if b[4] != binVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrBadFrame, b[4])
+	if b[4] != binVersion && b[4] != binVersion2 {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, b[4])
 	}
 	if b[5] != 0 || b[6] != 0 || b[7] != 0 {
-		return fmt.Errorf("%w: nonzero prologue padding", ErrBadFrame)
+		return 0, fmt.Errorf("%w: nonzero prologue padding", ErrBadFrame)
 	}
-	return nil
+	return b[4], nil
+}
+
+// CheckBinPrologue validates the 8-byte stream prologue (either version).
+func CheckBinPrologue(b []byte) error {
+	_, err := parseBinPrologue(b)
+	return err
 }
 
 // appendBinFrame wraps payload in the frame header. The payload length must
@@ -158,20 +194,42 @@ func AppendDictFrame(buf []byte, id uint32, name, backend string) []byte {
 // AppendBatchFrame appends a batch frame carrying values (and, when
 // non-nil, per-value weights) for the interned metric id.
 func AppendBatchFrame(buf []byte, id uint32, values, weights []float64) []byte {
+	return appendBatchFrame(buf, id, 0, false, values, weights)
+}
+
+// AppendBatchSeqFrame appends a sequenced batch frame: seq is the
+// per-session, strictly monotonic (from 1) sequence number the server
+// dedups retries on. The stream must be version 2 and must have declared a
+// session first.
+func AppendBatchSeqFrame(buf []byte, id uint32, seq uint64, values, weights []float64) []byte {
+	return appendBatchFrame(buf, id, seq, true, values, weights)
+}
+
+func appendBatchFrame(buf []byte, id uint32, seq uint64, sequenced bool, values, weights []float64) []byte {
 	weighted := weights != nil
 	n := len(values)
 	size := binBatchHeaderLen + 8*n
+	if sequenced {
+		size += 8
+	}
 	if weighted {
 		size += 8 * n
 	}
 	payload := make([]byte, size)
 	payload[0] = binFrameBatch
 	if weighted {
-		payload[1] = binFlagWeighted
+		payload[1] |= binFlagWeighted
+	}
+	if sequenced {
+		payload[1] |= binFlagSeq
 	}
 	binary.LittleEndian.PutUint32(payload[4:], id)
 	binary.LittleEndian.PutUint32(payload[8:], uint32(n))
 	off := binBatchHeaderLen
+	if sequenced {
+		binary.LittleEndian.PutUint64(payload[off:], seq)
+		off += 8
+	}
 	for _, v := range values {
 		binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(v))
 		off += 8
@@ -182,6 +240,26 @@ func AppendBatchFrame(buf []byte, id uint32, values, weights []float64) []byte {
 			off += 8
 		}
 	}
+	return appendBinFrame(buf, payload)
+}
+
+// AppendSessionFrame appends a session frame declaring the writer's client
+// session id (nonzero).
+func AppendSessionFrame(buf []byte, sid uint64) []byte {
+	payload := make([]byte, binSessionFrameLen)
+	payload[0] = binFrameSession
+	binary.LittleEndian.PutUint64(payload[8:], sid)
+	return appendBinFrame(buf, payload)
+}
+
+// AppendSessionAckFrame appends the server's answer to a session frame:
+// the session's current high-water mark — the highest sequenced batch it
+// has applied, 0 for a fresh session.
+func AppendSessionAckFrame(buf []byte, status byte, highWater uint64) []byte {
+	payload := make([]byte, binSessionFrameLen)
+	payload[0] = binFrameSessionAck
+	payload[1] = status
+	binary.LittleEndian.PutUint64(payload[8:], highWater)
 	return appendBinFrame(buf, payload)
 }
 
@@ -205,16 +283,20 @@ func AppendAckFrame(buf []byte, status byte, accepted uint32, msg string) []byte
 // typ. Values and Weights may alias the payload buffer (zero-copy view):
 // they are valid only until the buffer is reused.
 type binParsed struct {
-	typ      byte
-	id       uint32
-	name     string
-	backend  string
-	weighted bool
-	values   []float64
-	weights  []float64
-	status   byte
-	accepted uint32
-	msg      string
+	typ       byte
+	id        uint32
+	name      string
+	backend   string
+	weighted  bool
+	sequenced bool
+	seq       uint64 // sequenced batch: per-session sequence number
+	sid       uint64 // session frame: client session id
+	hw        uint64 // sessionAck frame: durable high-water mark
+	values    []float64
+	weights   []float64
+	status    byte
+	accepted  uint32
+	msg       string
 }
 
 // checkZero rejects nonzero reserved or pad bytes — the canonical-format
@@ -272,7 +354,8 @@ func parseBinPayload(p []byte, valScratch, wtScratch []float64) (binParsed, erro
 			return out, fmt.Errorf("%w: short batch payload", ErrBadFrame)
 		}
 		out.weighted = p[1]&binFlagWeighted != 0
-		if p[1]&^byte(binFlagWeighted) != 0 {
+		out.sequenced = p[1]&binFlagSeq != 0
+		if p[1]&^byte(binFlagWeighted|binFlagSeq) != 0 {
 			return out, fmt.Errorf("%w: unknown batch flags %#x", ErrBadFrame, p[1])
 		}
 		if err := checkZero(p[2:4], "batch reserved"); err != nil {
@@ -283,16 +366,27 @@ func parseBinPayload(p []byte, valScratch, wtScratch []float64) (binParsed, erro
 		}
 		out.id = binary.LittleEndian.Uint32(p[4:])
 		count := int(binary.LittleEndian.Uint32(p[8:]))
+		off := binBatchHeaderLen
+		if out.sequenced {
+			if len(p) < off+8 {
+				return out, fmt.Errorf("%w: short sequenced batch payload", ErrBadFrame)
+			}
+			out.seq = binary.LittleEndian.Uint64(p[off:])
+			if out.seq == 0 {
+				return out, fmt.Errorf("%w: sequenced batch with sequence number 0", ErrBadFrame)
+			}
+			off += 8
+		}
 		lanes := 1
 		if out.weighted {
 			lanes = 2
 		}
-		if binBatchHeaderLen+8*count*lanes != len(p) {
+		if off+8*count*lanes != len(p) {
 			return out, fmt.Errorf("%w: batch payload length %d does not match count %d", ErrBadFrame, len(p), count)
 		}
-		out.values = f64view(p[binBatchHeaderLen:], count, valScratch)
+		out.values = f64view(p[off:], count, valScratch)
 		if out.weighted {
-			out.weights = f64view(p[binBatchHeaderLen+8*count:], count, wtScratch)
+			out.weights = f64view(p[off+8*count:], count, wtScratch)
 		}
 	case binFrameAck:
 		if len(p) < binAckHeaderLen {
@@ -309,6 +403,26 @@ func parseBinPayload(p []byte, valScratch, wtScratch []float64) (binParsed, erro
 		if err := checkZero(p[body:], "ack pad"); err != nil {
 			return out, err
 		}
+	case binFrameSession:
+		if len(p) != binSessionFrameLen {
+			return out, fmt.Errorf("%w: session payload length %d != %d", ErrBadFrame, len(p), binSessionFrameLen)
+		}
+		if err := checkZero(p[1:8], "session reserved"); err != nil {
+			return out, err
+		}
+		out.sid = binary.LittleEndian.Uint64(p[8:])
+		if out.sid == 0 {
+			return out, fmt.Errorf("%w: session id 0 is reserved", ErrBadFrame)
+		}
+	case binFrameSessionAck:
+		if len(p) != binSessionFrameLen {
+			return out, fmt.Errorf("%w: sessionAck payload length %d != %d", ErrBadFrame, len(p), binSessionFrameLen)
+		}
+		out.status = p[1]
+		if err := checkZero(p[2:8], "sessionAck reserved"); err != nil {
+			return out, err
+		}
+		out.hw = binary.LittleEndian.Uint64(p[8:])
 	default:
 		return out, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, out.typ)
 	}

@@ -24,9 +24,16 @@ func reencode(fr binParsed) []byte {
 				ws = []float64{}
 			}
 		}
+		if fr.sequenced {
+			return AppendBatchSeqFrame(nil, fr.id, fr.seq, fr.values, ws)
+		}
 		return AppendBatchFrame(nil, fr.id, fr.values, ws)
 	case binFrameAck:
 		return AppendAckFrame(nil, fr.status, fr.accepted, fr.msg)
+	case binFrameSession:
+		return AppendSessionFrame(nil, fr.sid)
+	case binFrameSessionAck:
+		return AppendSessionAckFrame(nil, fr.status, fr.hw)
 	}
 	return nil
 }
@@ -40,6 +47,12 @@ func TestBinProtoRoundTrip(t *testing.T) {
 		AppendBatchFrame(nil, 1, nil, nil),
 		AppendAckFrame(nil, 0, 4, ""),
 		AppendAckFrame(nil, ackBadRequest, 0, "serve: NaN has no rank"),
+		AppendSessionFrame(nil, 0xDEADBEEFCAFE),
+		AppendSessionAckFrame(nil, ackOK, 42),
+		AppendSessionAckFrame(nil, ackUnavailable, 0),
+		AppendBatchSeqFrame(nil, 1, 7, []float64{3.5, -1}, nil),
+		AppendBatchSeqFrame(nil, 2, 1, []float64{9.5}, []float64{2}),
+		AppendBatchSeqFrame(nil, 1, math.MaxUint64, nil, nil),
 	}
 	for i, frame := range frames {
 		fr, rest, err := parseBinFrame(frame, nil, nil)

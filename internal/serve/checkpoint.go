@@ -21,11 +21,16 @@ import (
 //	  nameLen u16 | name | backendLen u8 | backend | blobCount u32
 //	  per blob: blobLen u32 | blob
 //
+// Version 4 appends the binary ingest session table after the metrics:
+//
+//	sessionCount u32
+//	per session (sorted by id): sessionID u64 | highWater u64
+//
 // walSeq is the write-ahead-log position the checkpoint covers: every WAL
 // record with sequence number <= walSeq is already folded into the sketches
 // below, so recovery replays only the suffix. Version 1 checkpoints (no
-// walSeq field) and version 2 checkpoints (no backend tag; every metric is
-// MRL) are still readable.
+// walSeq field), version 2 checkpoints (no backend tag; every metric is
+// MRL) and version 3 checkpoints (no session table) are still readable.
 //
 // Each blob is one sealed estimator of the metric's backend in its
 // MarshalBinary wire format, so a checkpoint is just a named bundle of the
@@ -36,7 +41,7 @@ import (
 // verbatim and recombined at query time instead.
 const (
 	ckptMagic   = "MRLD"
-	ckptVersion = 3
+	ckptVersion = 4
 	// ckptMaxBlob caps one serialised sketch; real sketches are tens of
 	// kilobytes, so this only rejects corrupt headers early.
 	ckptMaxBlob = 1 << 30
@@ -121,6 +126,18 @@ func (r *Registry) WriteCheckpoint(w io.Writer, walSeq uint64) error {
 			if _, err := bw.Write(blob); err != nil {
 				return err
 			}
+		}
+	}
+	marks := r.sessions.marks()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(marks))); err != nil {
+		return err
+	}
+	for _, mk := range marks {
+		if err := binary.Write(bw, binary.LittleEndian, mk.sid); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, mk.hw); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -209,8 +226,9 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 	switch version {
 	case 1:
 		// Pre-WAL format: no position field, covers nothing.
-	case 2, ckptVersion:
+	case 2, 3, ckptVersion:
 		// Version 2 predates backend tags: every metric below is MRL.
+		// Version 3 predates the session table.
 		if err := binary.Read(br, binary.LittleEndian, &walSeq); err != nil {
 			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 		}
@@ -281,6 +299,25 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 		m.resMu.Lock()
 		m.restored = append(m.restored, estimators...)
 		m.resMu.Unlock()
+	}
+	if version >= 4 {
+		var nSessions uint32
+		if err := binary.Read(br, binary.LittleEndian, &nSessions); err != nil {
+			return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+		}
+		for i := uint32(0); i < nSessions; i++ {
+			var sid, hw uint64
+			if err := binary.Read(br, binary.LittleEndian, &sid); err != nil {
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &hw); err != nil {
+				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
+			}
+			if sid == 0 || hw == 0 {
+				return 0, fmt.Errorf("serve: zero session id or high-water mark in checkpoint")
+			}
+			r.sessions.restoreMark(sid, hw)
+		}
 	}
 	// The format is self-delimiting; trailing garbage means the file was
 	// not produced by WriteCheckpoint.

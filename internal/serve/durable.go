@@ -97,6 +97,17 @@ func (s *Server) recoverState() error {
 		return nil
 	}
 	st, err := wal.Replay(s.fs, s.opt.WALDir, covered, func(rec wal.Record) error {
+		if rec.Session != 0 {
+			// Sessioned records carry the binary ingest dedup identity: the
+			// same (session, seq) can appear twice in the log — a failed
+			// append whose bytes reached the disk anyway, then the client's
+			// acked retry — and the checkpoint's restored high-water marks
+			// may already cover it. Apply each client batch at most once and
+			// rebuild the marks as we go.
+			if !s.reg.sessions.replayAdvance(rec.Session, rec.SessionSeq) {
+				return nil
+			}
+		}
 		return s.reg.ApplyReplay(rec.Metric, rec.Values)
 	})
 	if err != nil {
@@ -106,10 +117,17 @@ func (s *Server) recoverState() error {
 		s.logf("wal replay: %d records re-applied, %d skipped, %d segments truncated (last seq %d)",
 			st.Replayed, st.Skipped, st.Truncated, st.LastSeq)
 	}
+	// covered floors sequence allocation: a checkpoint that pruned every
+	// segment leaves an empty directory, and restarting the numbering below
+	// its covered seq would make the NEXT recovery skip fresh records as
+	// already checkpointed — silent acked loss (the chaos harness caught
+	// exactly this). Seqs beyond covered that survive on disk are re-scanned
+	// by Open itself.
 	l, err := wal.Open(s.opt.WALDir, wal.Options{
 		FS:           s.fs,
 		SegmentBytes: s.opt.WALSegmentBytes,
 		Sync:         s.opt.WALSync,
+		LastKnownSeq: covered,
 	})
 	if err != nil {
 		return fmt.Errorf("serve: wal open: %w", err)

@@ -190,6 +190,10 @@ type Registry struct {
 	mu             sync.RWMutex
 	metrics        map[string]*metric
 
+	// sessions is the binary ingest exactly-once dedup table (MRLB v2);
+	// see session.go.
+	sessions *sessionTable
+
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 }
@@ -206,7 +210,12 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if _, err := newMetric("probe", cfg, b); err != nil {
 		return nil, err
 	}
-	return &Registry{cfg: cfg, defaultBackend: b, metrics: make(map[string]*metric)}, nil
+	return &Registry{
+		cfg:            cfg,
+		defaultBackend: b,
+		metrics:        make(map[string]*metric),
+		sessions:       newSessionTable(sessionTableMax),
+	}, nil
 }
 
 func validateMetricName(name string) error {

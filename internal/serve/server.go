@@ -64,6 +64,16 @@ type Options struct {
 	// MaxIngestBytes caps one POST /ingest body; it defaults to 32 MiB.
 	MaxIngestBytes int64
 
+	// BinIdleTimeout is how long a persistent binary ingest connection may
+	// sit idle between frames before the server closes it, so abandoned
+	// clients cannot pin handler goroutines; it defaults to 2 minutes.
+	// Negative disables the idle timeout.
+	BinIdleTimeout time.Duration
+	// BinIOTimeout bounds reading one frame payload and writing one ack on
+	// a binary ingest connection, so a peer stalled mid-frame (slow loris)
+	// is cut off; it defaults to 30 seconds. Negative disables it.
+	BinIOTimeout time.Duration
+
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
 	// own mux. Off by default: the profile endpoints expose internals and
 	// burn CPU, so they are opt-in (quantiled exposes this as -pprof).
@@ -98,6 +108,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxIngestBytes <= 0 {
 		o.MaxIngestBytes = defaultMaxIngestBody
+	}
+	if o.BinIdleTimeout == 0 {
+		o.BinIdleTimeout = 2 * time.Minute
+	}
+	if o.BinIOTimeout == 0 {
+		o.BinIOTimeout = 30 * time.Second
 	}
 	return o
 }

@@ -25,6 +25,8 @@ import (
 type pipeReq struct {
 	metric string
 	values []float64
+	sid    uint64 // binary ingest session id (0 = plain record)
+	cseq   uint64 // per-session client sequence number
 	seq    uint64
 	done   chan error
 }
@@ -58,6 +60,15 @@ func (l *Log) pipe() *pipeline {
 // only the fsync is shared with whatever other batches were in flight at
 // the same time. The values slice is not retained past the call.
 func (l *Log) AppendPipelined(metric string, values []float64) (uint64, error) {
+	return l.AppendPipelinedSeq(metric, values, 0, 0)
+}
+
+// AppendPipelinedSeq is AppendPipelined for a batch carrying a binary
+// ingest client's (session id, seq) pair; see AppendSeq. The dedup record
+// rides the same group commit as every other in-flight batch — including
+// across a segment rotation, where the committer syncs (and acks) the run
+// that precedes the boundary before the record lands in the fresh segment.
+func (l *Log) AppendPipelinedSeq(metric string, values []float64, sid, cseq uint64) (uint64, error) {
 	if metric == "" || len(metric) > 1<<16-1 {
 		return 0, fmt.Errorf("wal: metric name length %d outside [1, 65535]", len(metric))
 	}
@@ -66,7 +77,7 @@ func (l *Log) AppendPipelined(metric string, values []float64) (uint64, error) {
 		// Close pinned the Once before any pipeline existed.
 		return 0, ErrClosed
 	}
-	r := &pipeReq{metric: metric, values: values, done: make(chan error, 1)}
+	r := &pipeReq{metric: metric, values: values, sid: sid, cseq: cseq, done: make(chan error, 1)}
 	p.mu.Lock()
 	if p.stop {
 		p.mu.Unlock()
@@ -146,7 +157,7 @@ func (l *Log) commitGroup(group []*pipeReq) {
 		var written []*pipeReq
 		for i < len(group) {
 			r := group[i]
-			frame := encodeFrame(l.nextSeq, r.metric, r.values)
+			frame := encodeFrame(l.nextSeq, r.metric, r.values, r.sid, r.cseq)
 			if len(frame) > maxRecordBytes {
 				r.done <- fmt.Errorf("wal: %d-byte record exceeds %d-byte frame cap", len(frame), maxRecordBytes)
 				i++

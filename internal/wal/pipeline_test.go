@@ -256,3 +256,58 @@ func TestPipelinedMixedWithPlainAppend(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelinedSessionRecordsStraddleSegments drives sessioned dedup
+// records (sid, cseq) through the group-commit pipeline with a segment cap
+// small enough that the stream rotates every few frames, so records land on
+// both sides of segment boundaries — including as the first frame of a
+// fresh segment. Replay must reproduce every (sid, cseq) pair intact and in
+// order; a mangled pair would silently break binary ingest's exactly-once
+// dedup after recovery.
+func TestPipelinedSessionRecordsStraddleSegments(t *testing.T) {
+	fsys := faultfs.NewMem()
+	l, err := Open("/wal", Options{FS: fsys, Sync: SyncEveryBatch, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sid, n = 0xABCD, 40
+	for cseq := uint64(1); cseq <= n; cseq++ {
+		// Varying batch sizes move the rotation point around relative to the
+		// record layout, so the sid/cseq fields themselves cross boundaries.
+		if _, err := l.AppendPipelinedSeq("m", batch(int(cseq)*10, 3+int(cseq)%11), sid, cseq); err != nil {
+			t.Fatalf("append cseq %d: %v", cseq, err)
+		}
+	}
+	// Interleave a plain record to pin that sid 0 still round-trips as "no
+	// session" next to sessioned neighbours.
+	if _, err := l.AppendPipelined("m", batch(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(fsys, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments: the cap never forced a rotation", len(segs))
+	}
+	recs, _ := collect(t, fsys, "/wal", 0)
+	if len(recs) != n+1 {
+		t.Fatalf("replayed %d records, want %d", len(recs), n+1)
+	}
+	for i, r := range recs[:n] {
+		cseq := uint64(i + 1)
+		if r.Session != sid || r.SessionSeq != cseq {
+			t.Fatalf("record %d: session %#x seq %d, want %#x seq %d", i, r.Session, r.SessionSeq, sid, cseq)
+		}
+		if len(r.Values) != 3+int(cseq)%11 || r.Values[0] != float64(cseq*10) {
+			t.Fatalf("record %d: values mangled alongside the session fields: %v", i, r.Values)
+		}
+	}
+	if last := recs[n]; last.Session != 0 || last.SessionSeq != 0 {
+		t.Fatalf("plain record grew a session: %+v", last)
+	}
+}

@@ -17,11 +17,19 @@ import (
 	"mrl/internal/faultfs"
 )
 
-// Record is one replayed batch.
+// Record is one replayed batch. Session and SessionSeq are the binary
+// ingest client's (session id, per-session sequence number) pair for
+// records written through AppendSeq; both are zero for plain records.
+// Recovery uses the pair to rebuild dedup high-water marks and to skip a
+// duplicate — the same (Session, SessionSeq) can legitimately appear twice
+// in the log when a failed append's bytes reached the disk anyway and the
+// client's retry was logged again.
 type Record struct {
-	Seq    uint64
-	Metric string
-	Values []float64
+	Seq        uint64
+	Metric     string
+	Values     []float64
+	Session    uint64
+	SessionSeq uint64
 }
 
 // ReplayStats summarises one recovery pass.
@@ -193,15 +201,30 @@ func readSegment(fsys faultfs.FS, path string, after uint64, lastSeen *uint64, f
 // what was written is sane): lengths must be consistent and values must be
 // ingestible, i.e. no NaN.
 func parseRecord(p []byte) (Record, bool) {
-	if len(p) < minPayload || p[8] != recBatch {
+	if len(p) < minPayload || (p[8] != recBatch && p[8] != recBatchSeq) {
 		return Record{}, false
 	}
+	sessioned := p[8] == recBatchSeq
 	nameLen := int(binary.LittleEndian.Uint16(p[9:]))
 	if nameLen == 0 || len(p) < 11+nameLen+4 {
 		return Record{}, false
 	}
 	metric := string(p[11 : 11+nameLen])
 	off := 11 + nameLen
+	var sid, cseq uint64
+	if sessioned {
+		if len(p) < off+seqFieldsLen+4 {
+			return Record{}, false
+		}
+		sid = binary.LittleEndian.Uint64(p[off:])
+		cseq = binary.LittleEndian.Uint64(p[off+8:])
+		off += seqFieldsLen
+		// A sessioned record exists only because a sessioned client sent
+		// it; sid 0 is the reserved "no session" value and cannot appear.
+		if sid == 0 || cseq == 0 {
+			return Record{}, false
+		}
+	}
 	count := int(binary.LittleEndian.Uint32(p[off:]))
 	off += 4
 	if len(p) != off+8*count {
@@ -215,5 +238,11 @@ func parseRecord(p []byte) (Record, bool) {
 		}
 		off += 8
 	}
-	return Record{Seq: binary.LittleEndian.Uint64(p[0:]), Metric: metric, Values: values}, true
+	return Record{
+		Seq:        binary.LittleEndian.Uint64(p[0:]),
+		Metric:     metric,
+		Values:     values,
+		Session:    sid,
+		SessionSeq: cseq,
+	}, true
 }

@@ -36,11 +36,23 @@ const (
 	segHeaderLen = 5
 	// frameHeaderLen is payload length u32 + CRC32C u32.
 	frameHeaderLen = 8
-	// recBatch is the only record type so far; the byte exists so future
-	// record kinds (rotation marks, tombstones) stay wire-compatible.
+	// recBatch is the original record type: one (metric, values) batch with
+	// no client identity. The type byte exists so record kinds stay
+	// wire-compatible.
 	recBatch = 1
+	// recBatchSeq is a batch that additionally carries the binary ingest
+	// client's (session id, per-session sequence number) pair, inserted
+	// between the metric name and the value count. Replay threads the pair
+	// back to the caller so the serving layer can rebuild its dedup
+	// high-water marks — and skip a record whose (session, seq) it has
+	// already applied, which happens when a failed append's bytes reached
+	// the disk anyway and the client's retry was logged again.
+	recBatchSeq = 2
 	// minPayload is seq u64 + type u8 + nameLen u16 + count u32.
 	minPayload = 15
+	// seqFieldsLen is the extra session id u64 + client seq u64 of a
+	// recBatchSeq record.
+	seqFieldsLen = 16
 	// maxRecordBytes bounds one framed payload; anything larger in a
 	// segment is corruption, not data.
 	maxRecordBytes = 64 << 20
@@ -106,6 +118,14 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the ack durability policy.
 	Sync SyncPolicy
+	// LastKnownSeq is a floor for sequence allocation: Open never hands out
+	// a sequence number at or below it, even when no segment on disk records
+	// it. A checkpoint that covers (and prunes) every segment leaves the
+	// directory empty while its "covered through seq N" claim lives on in the
+	// checkpoint file; reusing those numbers would make the next recovery
+	// skip fresh records as already covered. Callers restoring from a
+	// checkpoint must pass its covered sequence number here.
+	LastKnownSeq uint64
 }
 
 // sealedSeg is one closed segment, remembered for pruning.
@@ -170,6 +190,9 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 		l.sealed = append(l.sealed, sealedSeg{index: seg.index, path: seg.path, lastSeq: sc.lastSeq})
 		l.curIndex = seg.index
+	}
+	if lastSeen < opt.LastKnownSeq {
+		lastSeen = opt.LastKnownSeq
 	}
 	l.nextSeq = lastSeen + 1
 	l.mu.Lock()
@@ -236,16 +259,30 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
-// encodeFrame builds one framed record for seq.
-func encodeFrame(seq uint64, metric string, values []float64) []byte {
+// encodeFrame builds one framed record for seq. A nonzero session id
+// produces a recBatchSeq record carrying (sid, cseq); sid == 0 produces the
+// original recBatch layout, so logs written by sessionless servers stay
+// byte-identical to what they were.
+func encodeFrame(seq uint64, metric string, values []float64, sid, cseq uint64) []byte {
 	payloadLen := minPayload + len(metric) + 8*len(values)
+	if sid != 0 {
+		payloadLen += seqFieldsLen
+	}
 	buf := make([]byte, frameHeaderLen+payloadLen)
 	p := buf[frameHeaderLen:]
 	binary.LittleEndian.PutUint64(p[0:], seq)
 	p[8] = recBatch
+	if sid != 0 {
+		p[8] = recBatchSeq
+	}
 	binary.LittleEndian.PutUint16(p[9:], uint16(len(metric)))
 	copy(p[11:], metric)
 	off := 11 + len(metric)
+	if sid != 0 {
+		binary.LittleEndian.PutUint64(p[off:], sid)
+		binary.LittleEndian.PutUint64(p[off+8:], cseq)
+		off += seqFieldsLen
+	}
 	binary.LittleEndian.PutUint32(p[off:], uint32(len(values)))
 	off += 4
 	for _, v := range values {
@@ -266,6 +303,14 @@ func encodeFrame(seq uint64, metric string, values []float64) []byte {
 // the usual at-least-once caveat on failed acks, but it can never shadow a
 // later acked frame.
 func (l *Log) Append(metric string, values []float64) (uint64, error) {
+	return l.AppendSeq(metric, values, 0, 0)
+}
+
+// AppendSeq is Append for a batch acknowledged to a sessioned binary ingest
+// client: the record additionally carries the client's (session id, seq)
+// pair, which Replay hands back so recovery can rebuild the dedup
+// high-water marks. sid == 0 writes a plain record.
+func (l *Log) AppendSeq(metric string, values []float64, sid, cseq uint64) (uint64, error) {
 	if metric == "" || len(metric) > 1<<16-1 {
 		return 0, fmt.Errorf("wal: metric name length %d outside [1, 65535]", len(metric))
 	}
@@ -274,7 +319,7 @@ func (l *Log) Append(metric string, values []float64) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	frame := encodeFrame(l.nextSeq, metric, values)
+	frame := encodeFrame(l.nextSeq, metric, values, sid, cseq)
 	if len(frame) > maxRecordBytes {
 		return 0, fmt.Errorf("wal: %d-byte record exceeds %d-byte frame cap", len(frame), maxRecordBytes)
 	}

@@ -374,3 +374,65 @@ func TestAppendValidation(t *testing.T) {
 		t.Error("oversized metric name accepted")
 	}
 }
+
+// TestOpenSeqFloorSurvivesPrune pins the sequence-allocation floor: a
+// checkpoint that covers (and prunes) every segment leaves the directory
+// empty while its "covered through seq N" claim lives on in the checkpoint
+// file. A reopened log that restarted numbering at 1 would hand fresh
+// records sequence numbers an old checkpoint already claims, and the next
+// recovery would skip them as covered — silent loss of acked data.
+// Options.LastKnownSeq is how the caller carries the claim across lives.
+func TestOpenSeqFloorSurvivesPrune(t *testing.T) {
+	fsys := faultfs.NewMem()
+
+	// Life 1: ten acked records, seqs 1..10.
+	l1, err := Open("/wal", Options{FS: fsys, Sync: SyncEveryBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l1.Append("m", batch(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2: a checkpoint covers seq 10 and prunes everything sealed.
+	l2, err := Open("/wal", Options{FS: fsys, Sync: SyncEveryBatch, LastKnownSeq: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.LastSeq(); got != 10 {
+		t.Fatalf("life 2 LastSeq %d, want 10", got)
+	}
+	if n, err := l2.Prune(10); err != nil || n == 0 {
+		t.Fatalf("prune removed %d segments, err %v", n, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 3: no surviving segment records seq 10, only the caller does.
+	l3, err := Open("/wal", Options{FS: fsys, Sync: SyncEveryBatch, LastKnownSeq: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l3.Append("m", batch(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("post-prune append got seq %d, want 11 (reusing a covered seq loses the record at recovery)", seq)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from the checkpoint's position must replay the new record.
+	recs, _ := collect(t, fsys, "/wal", 10)
+	if len(recs) != 1 || recs[0].Seq != 11 || recs[0].Values[0] != 100 {
+		t.Fatalf("replay after covered=10: %+v, want the one post-prune record at seq 11", recs)
+	}
+}
