@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-gate bench bench-json bench-gate reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke chaos
+.PHONY: all build test race cover cover-gate bench bench-json bench-gate profile reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke chaos
 
 all: build test
 
@@ -33,15 +33,17 @@ race:
 crashtest:
 	$(GO) test -race -count=1 -run 'TestCrashRecoveryNoAckedLoss|TestDegradedModeServing|TestCheckpointDurableUnderCrash|TestWALRecoveryRealFS' ./internal/serve/
 
-# chaos runs the exactly-once binary-ingest harness under the race detector:
-# each seed is an independent deterministic schedule of network faults
-# (latency, mid-frame resets, ack blackholes, full severs), hard server kills
-# with torn-page power loss, and graceful restarts, with a retrying sessioned
-# client streaming throughout. The differential proof per seed: the recovered
-# registry holds every acknowledged value exactly once.
+# chaos runs the exactly-once binary-ingest harnesses under the race
+# detector: TestChaosExactlyOnce (each seed an independent deterministic
+# schedule of network faults, hard server kills with torn-page power loss,
+# and graceful restarts, with a retrying sessioned client streaming
+# throughout) and TestChaosKillWithBacklog (kills landing while acked batches
+# are still queued in the async apply pipeline, unapplied). The differential
+# proof per seed: the recovered registry holds every acknowledged value
+# exactly once.
 CHAOS_SEEDS ?= 40
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run TestChaosExactlyOnce ./internal/serve/
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/
 
 # fuzz-smoke gives every fuzz target a short budget; CI runs it after check.
 FUZZTIME ?= 10s
@@ -90,27 +92,37 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The gated hot-path benchmarks: 6 samples each so the gate compares medians.
-BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$|BenchmarkHTTPIngest$$|BenchmarkHTTPIngestBinary$$
+BENCH_GATED = BenchmarkAdd$$|BenchmarkAddBatch$$|BenchmarkQuantiles$$|BenchmarkHTTPIngest$$|BenchmarkHTTPIngestBinary$$|BenchmarkRecoveryReplay$$
 BENCH_COUNT ?= 6
 
 # The packages whose hot paths the bench gate tracks: the MRL core, the
 # KLL backend (its sub-benchmarks carry a kll/ prefix, so names never clash),
-# and the serve ingest carriers (JSON vs binary).
+# and the serve ingest carriers (JSON vs binary) plus WAL-replay recovery.
 BENCH_PKGS = ./internal/core/ ./internal/kll/ ./internal/serve/
 
-# bench-json refreshes the committed perf baseline results/BENCH_7.json.
+# bench-json refreshes the committed perf baseline results/BENCH_9.json.
 bench-json:
 	mkdir -p results
 	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson parse -o results/BENCH_7.json
-	@echo "wrote results/BENCH_7.json"
+		| $(GO) run ./cmd/benchjson parse -o results/BENCH_9.json
+	@echo "wrote results/BENCH_9.json"
 
 # bench-gate re-runs the gated benchmarks and fails on a >15% median ns/op
 # regression against the committed baseline (same check CI runs).
 bench-gate:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATED)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > /tmp/bench_new.txt
-	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_7.json -new /tmp/bench_new.txt \
-		-match '^Benchmark(Add|AddBatch|Quantiles|HTTPIngest|HTTPIngestBinary)/' -max-regress-pct 15
+	$(GO) run ./cmd/benchjson gate -baseline results/BENCH_9.json -new /tmp/bench_new.txt \
+		-match '^Benchmark(Add|AddBatch|Quantiles|HTTPIngest|HTTPIngestBinary)/|^BenchmarkRecoveryReplay' -max-regress-pct 15
+
+# profile captures CPU and allocation pprof profiles of the binary ingest
+# hot path (frame decode -> WAL append -> apply-queue handoff -> sketch) into
+# results/; inspect with `go tool pprof results/ingest_cpu.pprof`.
+profile:
+	mkdir -p results
+	$(GO) test -run='^$$' -bench='BenchmarkHTTPIngestBinary$$' -benchtime=3s \
+		-cpuprofile results/ingest_cpu.pprof -memprofile results/ingest_mem.pprof \
+		-o results/serve_bench.test ./internal/serve/
+	@echo "wrote results/ingest_cpu.pprof results/ingest_mem.pprof (binary: results/serve_bench.test)"
 
 # Regenerate every table and figure of the paper into results/.
 reproduce:

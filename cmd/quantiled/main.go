@@ -41,6 +41,9 @@ func main() {
 		perWindow  = flag.Int64("per-window", 1_000_000, "per-window capacity")
 		windowEps  = flag.Float64("window-epsilon", 0, "per-window tolerance (0 = epsilon)")
 		backend    = flag.String("backend", "mrl", "default quantile backend for new metrics: mrl, kll, or weighted")
+		applyWkrs  = flag.Int("apply-workers", 0, "async apply workers draining binary ingest queues (0 = one per core, -1 = apply only at queries/rotations/checkpoints)")
+		applyQueue = flag.Int("apply-queue", 0, "per-metric apply queue depth in batches (0 = 256)")
+		applyShed  = flag.Bool("apply-shed", false, "shed binary batches with 429 when a metric's apply queue is full instead of blocking the connection")
 		rotate     = flag.Duration("rotate-every", time.Minute, "tumble the window rings on this period (0 = only POST /rotate)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file path (empty disables persistence)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period between checkpoints")
@@ -60,13 +63,16 @@ func main() {
 	}
 
 	reg, err := serve.NewRegistry(serve.Config{
-		Epsilon:       *epsilon,
-		N:             *n,
-		Shards:        *shards,
-		Windows:       *windows,
-		PerWindow:     *perWindow,
-		WindowEpsilon: *windowEps,
-		Backend:       *backend,
+		Epsilon:         *epsilon,
+		N:               *n,
+		Shards:          *shards,
+		Windows:         *windows,
+		PerWindow:       *perWindow,
+		WindowEpsilon:   *windowEps,
+		Backend:         *backend,
+		ApplyWorkers:    *applyWkrs,
+		ApplyQueueDepth: *applyQueue,
+		ApplyShed:       *applyShed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,13 +27,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -65,6 +66,8 @@ var (
 	latMetric = flag.String("latency-metric", "__load.latency", "metric to push observed ack latencies (ms) into (empty disables)")
 	latEvery  = flag.Duration("latency-every", time.Second, "period between latency pushes")
 
+	httpAddr   = flag.String("http-addr", "", "daemon HTTP address (quantiled -addr, e.g. localhost:8126); when set, /metricsz is fetched at exit and the apply pipeline's applied-vs-acked lag is reported")
+	reportJSON = flag.Bool("report-json", false, "emit the final report as one JSON object on stdout (for CI assertions); the human-readable report moves to stderr")
 	legacy     = flag.Bool("legacy", false, "speak MRLB v1: no sessions, so a batch whose ack is lost is abandoned (at most once) instead of replayed")
 	session    = flag.Int64("session", 0, "base client session id; connection i uses session+i (0 = random per connection)")
 	retryMin   = flag.Duration("retry-min", 100*time.Millisecond, "reconnect/retry backoff floor")
@@ -130,10 +133,55 @@ func main() {
 	close(lats)
 	est := <-collectorDone
 
-	report(est, &stats, elapsed)
+	var apply *applyz
+	if *httpAddr != "" {
+		var err error
+		if apply, err = fetchApply(*httpAddr); err != nil {
+			log.Printf("applied-lag fetch disabled: %v", err)
+		}
+	}
+	report(est, &stats, elapsed, apply)
 	if stats.acked.Load() == 0 {
 		os.Exit(1)
 	}
+}
+
+// applyz is the daemon's /metricsz "apply" block — the async apply
+// pipeline's live counters. PendingBatches is the applied-vs-acked lag:
+// batches the daemon acknowledged (durable in the WAL) but has not folded
+// into a sketch yet; any query drains the queried metric's share to zero
+// first, so the lag is a staleness ceiling for /metricsz counters only.
+type applyz struct {
+	Workers          int     `json:"workers"`
+	QueueDepth       int     `json:"queueDepth"`
+	Policy           string  `json:"policy"`
+	PendingBatches   uint64  `json:"pendingBatches"`
+	EnqueuedBatches  int64   `json:"enqueuedBatches"`
+	AppliedBatches   int64   `json:"appliedBatches"`
+	CoalescedBatches int64   `json:"coalescedBatches"`
+	CoalescedRatio   float64 `json:"coalescedRatio"`
+	ShedBatches      int64   `json:"shedBatches"`
+	BlockedEnqueues  int64   `json:"blockedEnqueues"`
+}
+
+// fetchApply reads the apply block out of GET /metricsz.
+func fetchApply(addr string) (*applyz, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metricsz: %s", resp.Status)
+	}
+	var body struct {
+		Apply applyz `json:"apply"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return &body.Apply, nil
 }
 
 // runConn owns one connection through the resilient serve.BinClient: it
@@ -175,7 +223,12 @@ func runConn(ctx context.Context, idx int, interval time.Duration, start time.Ti
 		Logf: func(format string, args ...any) {
 			log.Printf("conn %d: "+format, append([]any{idx}, args...)...)
 		},
-		Rand: rand.New(rand.NewSource(*seed + int64(idx))),
+		// No Rand here: -seed makes the *data* deterministic, but seeding
+		// the client with it would also make the random session id
+		// deterministic — two loader processes with the same seed would
+		// collide, and the server would dedup one's batches as replays of
+		// the other's. Session identity must come from -session or from
+		// the client's own collision-free draw.
 	})
 	if err != nil {
 		return err
@@ -341,53 +394,123 @@ func (p *pusher) push(vals []float64) error {
 
 func (p *pusher) close() { p.conn.Close() }
 
-func report(est *quantile.KLL, stats *counters, elapsed time.Duration) {
+// jsonReport is the -report-json schema: everything the text report says, as
+// one machine-readable object for CI to assert on.
+type jsonReport struct {
+	Addr          string  `json:"addr"`
+	Conns         int     `json:"conns"`
+	BatchSize     int     `json:"batchSize"`
+	RateTarget    float64 `json:"rateTarget,omitempty"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	SentBatches   int64   `json:"sentBatches"`
+	SentValues    int64   `json:"sentValues"`
+	AckedBatches  int64   `json:"ackedBatches"`
+	AckedValues   int64   `json:"ackedValues"`
+	ValuesPerSec  float64 `json:"valuesPerSec"`
+	Rejected      int64   `json:"rejectedBatches"`
+	BreakerDrops  int64   `json:"breakerDroppedBatches"`
+	MaybeApplied  int64   `json:"maybeAppliedBatches"`
+	Reconnects    int64   `json:"reconnects"`
+	LatencySample int64   `json:"latencySamples"`
+	AckP50Ms      float64 `json:"ackP50Ms"`
+	AckP90Ms      float64 `json:"ackP90Ms"`
+	AckP99Ms      float64 `json:"ackP99Ms"`
+	AckMaxMs      float64 `json:"ackMaxMs"`
+	LastError     string  `json:"lastError,omitempty"`
+	TransportErr  string  `json:"transportError,omitempty"`
+	// Apply is the daemon's /metricsz apply block at exit (-http-addr);
+	// Apply.PendingBatches vs AckedBatches is the applied-vs-acked lag.
+	Apply *applyz `json:"apply,omitempty"`
+}
+
+func report(est *quantile.KLL, stats *counters, elapsed time.Duration, apply *applyz) {
 	sec := elapsed.Seconds()
-	fmt.Printf("quantileload: %d conns against %s for %v (batch=%d", *conns, *addr, elapsed.Round(time.Millisecond), *batchSize)
-	if *rate > 0 {
-		fmt.Printf(", target %.3g values/sec", *rate)
+	out := os.Stdout
+	if *reportJSON {
+		// stdout carries exactly one JSON object; the prose moves aside.
+		out = os.Stderr
 	}
-	fmt.Printf(")\n")
-	fmt.Printf("  sent    %d batches / %d values (%.0f values/sec)\n",
+	fmt.Fprintf(out, "quantileload: %d conns against %s for %v (batch=%d", *conns, *addr, elapsed.Round(time.Millisecond), *batchSize)
+	if *rate > 0 {
+		fmt.Fprintf(out, ", target %.3g values/sec", *rate)
+	}
+	fmt.Fprintf(out, ")\n")
+	fmt.Fprintf(out, "  sent    %d batches / %d values (%.0f values/sec)\n",
 		stats.batches.Load(), stats.values.Load(), float64(stats.values.Load())/sec)
-	fmt.Printf("  acked   %d batches / %d values accepted, %d rejected\n",
+	fmt.Fprintf(out, "  acked   %d batches / %d values accepted, %d rejected\n",
 		stats.acked.Load(), stats.valuesAcked.Load(), stats.rejected.Load())
 	if n := stats.reconnects.Load(); n > 0 {
-		fmt.Printf("  reconnected %d times (unacked batches replayed, exactly once)\n", n)
+		fmt.Fprintf(out, "  reconnected %d times (unacked batches replayed, exactly once)\n", n)
 	}
 	if n := stats.breakerDrops.Load(); n > 0 {
-		fmt.Printf("  breaker dropped %d batches while open (degraded, counted, never sent)\n", n)
+		fmt.Fprintf(out, "  breaker dropped %d batches while open (degraded, counted, never sent)\n", n)
 	}
 	if n := stats.maybeApplied.Load(); n > 0 {
-		fmt.Printf("  MAYBE APPLIED: %d v1 batches abandoned after a lost ack (rerun without -legacy for exactly-once)\n", n)
+		fmt.Fprintf(out, "  MAYBE APPLIED: %d v1 batches abandoned after a lost ack (rerun without -legacy for exactly-once)\n", n)
 	}
 	if stats.downgraded.Load() {
-		fmt.Printf("  downgraded to MRLB v1: the server predates sessions; delivery was at most once\n")
+		fmt.Fprintf(out, "  downgraded to MRLB v1: the server predates sessions; delivery was at most once\n")
 	}
 	if msg, ok := stats.lastErr.Load().(string); ok {
-		fmt.Printf("  last delivery error: %s\n", msg)
+		fmt.Fprintf(out, "  last delivery error: %s\n", msg)
 	}
 	if msg, ok := stats.transportErr.Load().(string); ok {
-		fmt.Printf("  transport error: %s\n", msg)
+		fmt.Fprintf(out, "  transport error: %s\n", msg)
+	}
+	if apply != nil {
+		fmt.Fprintf(out, "  applied lag at exit: %d batches pending (daemon applied %d of %d enqueued, %d workers, %.0f%% coalesced)\n",
+			apply.PendingBatches, apply.AppliedBatches, apply.EnqueuedBatches, apply.Workers, apply.CoalescedRatio*100)
+	}
+	rep := jsonReport{
+		Addr:         *addr,
+		Conns:        *conns,
+		BatchSize:    *batchSize,
+		RateTarget:   *rate,
+		ElapsedSec:   sec,
+		SentBatches:  stats.batches.Load(),
+		SentValues:   stats.values.Load(),
+		AckedBatches: stats.acked.Load(),
+		AckedValues:  stats.valuesAcked.Load(),
+		ValuesPerSec: float64(stats.values.Load()) / sec,
+		Rejected:     stats.rejected.Load(),
+		BreakerDrops: stats.breakerDrops.Load(),
+		MaybeApplied: stats.maybeApplied.Load(),
+		Reconnects:   stats.reconnects.Load(),
+		Apply:        apply,
+	}
+	if msg, ok := stats.lastErr.Load().(string); ok {
+		rep.LastError = msg
+	}
+	if msg, ok := stats.transportErr.Load().(string); ok {
+		rep.TransportErr = msg
 	}
 	if est.Count() == 0 {
-		fmt.Printf("  no acks measured\n")
-		return
+		fmt.Fprintf(out, "  no acks measured\n")
+	} else {
+		qs, err := est.Quantiles([]float64{0.5, 0.9, 0.99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		max, _ := est.Max()
+		bound, _ := est.ErrorBound()
+		fmt.Fprintf(out, "  ack latency p50=%s p90=%s p99=%s max=%s (%d samples, ±%.0f rank error",
+			ms(qs[0]), ms(qs[1]), ms(qs[2]), ms(max), est.Count(), math.Ceil(bound))
+		if stats.dropped.Load() > 0 {
+			fmt.Fprintf(out, ", %d samples dropped", stats.dropped.Load())
+		}
+		fmt.Fprintf(out, ")\n")
+		if *latMetric != "" {
+			fmt.Fprintf(out, "  daemon serves the same distribution: /quantile?metric=%s&phi=0.5,0.99\n", *latMetric)
+		}
+		rep.LatencySample = est.Count()
+		rep.AckP50Ms, rep.AckP90Ms, rep.AckP99Ms, rep.AckMaxMs = qs[0], qs[1], qs[2], max
 	}
-	qs, err := est.Quantiles([]float64{0.5, 0.9, 0.99})
-	if err != nil {
-		log.Fatal(err)
-	}
-	max, _ := est.Max()
-	bound, _ := est.ErrorBound()
-	fmt.Printf("  ack latency p50=%s p90=%s p99=%s max=%s (%d samples, ±%.0f rank error",
-		ms(qs[0]), ms(qs[1]), ms(qs[2]), ms(max), est.Count(), math.Ceil(bound))
-	if stats.dropped.Load() > 0 {
-		fmt.Printf(", %d samples dropped", stats.dropped.Load())
-	}
-	fmt.Printf(")\n")
-	if *latMetric != "" {
-		fmt.Printf("  daemon serves the same distribution: /quantile?metric=%s&phi=0.5,0.99\n", *latMetric)
+	if *reportJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

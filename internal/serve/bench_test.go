@@ -2,10 +2,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"mrl/internal/faultfs"
+	"mrl/internal/wal"
 )
 
 // benchRegistry provisions a small registry suitable for benchmark loops.
@@ -137,6 +142,58 @@ func BenchmarkHTTPIngestBinary(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures cold-start recovery time: each iteration
+// is one `New` against a multi-segment, multi-metric WAL with no checkpoint,
+// so the whole log replays — segment scan, frame decode, dedup, and the
+// sharded replay fan-out through the apply pool. ns/op is the restart time a
+// crashed daemon pays before it serves again.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	mem := faultfs.NewMem()
+	cfg := Config{Epsilon: 0.001, N: 50_000_000, Shards: 1}
+	opts := Options{WALDir: "/wal", WALSync: wal.SyncEveryBatch, WALSegmentBytes: 1 << 20, FS: mem}
+	seedReg, err := NewRegistry(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedSrv, err := New(seedReg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := make([]float64, 1024)
+	for i := range vs {
+		vs[i] = float64(i%1000) + float64(i%7)/10
+	}
+	const batches = 512
+	for i := 0; i < batches; i++ {
+		if err := seedSrv.ingestBatchPipelined(fmt.Sprintf("m%d", i%8), vs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Abandoned without Shutdown, like a crash: no checkpoint exists, so
+	// every recovery below replays the full log.
+	seedReg.drainAll()
+	seedReg.Close()
+	b.SetBytes(int64(batches * len(vs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := NewRegistry(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(reg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		b.StartTimer()
 	}
 }
 

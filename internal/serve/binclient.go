@@ -129,7 +129,11 @@ type BinClientOptions struct {
 	Logf func(format string, args ...any)
 
 	// Rand seeds the backoff jitter and the random session id; nil uses a
-	// time-seeded source.
+	// time-seeded source for jitter and the process-global source for the
+	// session id. The global source matters: two clients constructed in the
+	// same clock tick would otherwise draw identical time-seeded ids, and
+	// colliding session ids make the server's dedup silently discard one
+	// client's batches as replays of the other's.
 	Rand *rand.Rand
 }
 
@@ -246,7 +250,14 @@ func NewBinClient(opt BinClientOptions) (*BinClient, error) {
 	}
 	c := &BinClient{opt: opt, rng: rng, sid: opt.SessionID}
 	for !opt.Legacy && c.sid == 0 {
-		c.sid = rng.Uint64()
+		if opt.Rand != nil {
+			c.sid = opt.Rand.Uint64()
+		} else {
+			// Never the time-seeded rng: clients constructed in the same
+			// clock tick would collide, and the server dedups colliding
+			// sessions into silent batch loss.
+			c.sid = rand.Uint64()
+		}
 	}
 	return c, nil
 }

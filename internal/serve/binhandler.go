@@ -9,6 +9,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"mrl/quantile"
 )
 
 // maxBinDictEntries caps one stream's interning table; a writer needing
@@ -64,9 +66,11 @@ func (bs *binSession) declareSession(sid uint64) (uint64, error) {
 
 // handleFrame applies one parsed frame: dict frames extend the interning
 // table (creating the metric when a backend tag is present), batch frames
-// ingest through the pipelined WAL path. Returns the number of values
-// accepted (batch frames only).
-func (bs *binSession) handleFrame(fr binParsed) (int, error) {
+// go through decode → dedup → pipelined WAL append → apply-queue handoff
+// (buf is the pooled buffer the frame's values view into; the queue retains
+// it until the batch is applied). Returns the number of values accepted
+// (batch frames only).
+func (bs *binSession) handleFrame(fr binParsed, buf *pooledBuf) (int, error) {
 	switch fr.typ {
 	case binFrameDict:
 		if err := validateMetricName(fr.name); err != nil {
@@ -92,11 +96,11 @@ func (bs *binSession) handleFrame(fr binParsed) (int, error) {
 			if bs.ent == nil {
 				return 0, fmt.Errorf("%w: sequenced batch before a session frame", ErrBadFrame)
 			}
-			err = bs.s.ingestBatchSeq(name, fr.values, fr.weights, bs.ent, bs.sid, fr.seq)
+			err = bs.s.ingestBatchSeq(name, fr.values, fr.weights, buf, bs.ent, bs.sid, fr.seq)
 		} else if fr.weighted {
-			err = bs.s.ingestWeightedBatchPipelined(name, fr.values, fr.weights)
+			err = bs.s.ingestWeightedBatchPipelined(name, fr.values, fr.weights, buf)
 		} else {
-			err = bs.s.ingestBatchPipelined(name, fr.values)
+			err = bs.s.ingestBatchPipelined(name, fr.values, buf)
 		}
 		if err != nil {
 			return 0, err
@@ -129,7 +133,7 @@ func (bs *binSession) handleFrame(fr binParsed) (int, error) {
 // sequence numbers; if a failed batch drew a soft error with the stream left
 // open, the next batch would advance the mark past the hole and the client's
 // retry of the failed batch would be swallowed as a duplicate.
-func (s *Server) ingestBatchSeq(name string, vs, ws []float64, ent *sessionEntry, sid, seq uint64) error {
+func (s *Server) ingestBatchSeq(name string, vs, ws []float64, buf *pooledBuf, ent *sessionEntry, sid, seq uint64) error {
 	weighted := ws != nil
 	var err error
 	if weighted {
@@ -137,6 +141,10 @@ func (s *Server) ingestBatchSeq(name string, vs, ws []float64, ent *sessionEntry
 	} else {
 		err = s.reg.ValidateIngest(name, vs)
 	}
+	if err != nil {
+		return err
+	}
+	m, err := s.resolveIngestMetric(name, weighted)
 	if err != nil {
 		return err
 	}
@@ -148,6 +156,12 @@ func (s *Server) ingestBatchSeq(name string, vs, ws []float64, ent *sessionEntry
 	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
 		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
 	}
+	// Reserve queue space before the append: a shed batch was never made
+	// durable, so the client's retry cannot double-count. Reserving outside
+	// the gate keeps a blocked reservation from stalling the checkpointer.
+	if err := m.q.reserve(false); err != nil {
+		return err
+	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	if s.wal != nil {
@@ -156,69 +170,116 @@ func (s *Server) ingestBatchSeq(name string, vs, ws []float64, ent *sessionEntry
 			recName, recVals = weightedWALPrefix+name, interleaveWeighted(vs, ws)
 		}
 		if _, err := s.wal.AppendPipelinedSeq(recName, recVals, sid, seq); err != nil {
+			m.q.cancel()
 			s.health.noteWAL(err)
+			// The WAL may now hold a record for (sid, seq) that was never
+			// enqueued here, but the mark was not advanced and the stream
+			// dies: the client's retry re-logs and applies it, and recovery
+			// dedups the two records via replayAdvance.
 			return fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.health.noteWAL(nil)
 	}
-	if weighted {
-		err = s.reg.IngestWeighted(name, vs, ws)
-	} else {
-		err = s.reg.Ingest(name, vs)
-	}
-	if err != nil {
-		// The WAL may now hold a record for (sid, seq) that was never
-		// applied here, but the mark was not advanced and the stream dies:
-		// the client's retry re-logs and applies it, and recovery dedups the
-		// two records via replayAdvance.
-		return err
-	}
+	// Enqueue-then-advance keeps the high-water contract: a seq at or below
+	// the mark is always either applied or queued behind a drain barrier,
+	// and it is durable in the WAL either way.
+	s.enqueueApply(m, vs, ws, buf)
 	ent.hw.Store(seq)
 	return nil
+}
+
+// resolveIngestMetric returns (creating if needed) the batch's target metric,
+// whose apply queue the caller reserves before appending to the WAL.
+func (s *Server) resolveIngestMetric(name string, weighted bool) (*metric, error) {
+	if weighted {
+		return s.reg.getOrCreateBackend(name, quantile.BackendWeighted)
+	}
+	return s.reg.getOrCreate(name)
+}
+
+// enqueueApply hands one validated, durable batch to the metric's apply
+// queue. When the values (and weights) are zero-copy views into the pooled
+// frame buffer the queue retains the buffer until the batch is applied; a
+// scratch-decoded fallback view is copied out, since its backing array is
+// reused by the next frame. The caller has already reserved queue space.
+func (s *Server) enqueueApply(m *metric, vs, ws []float64, buf *pooledBuf) {
+	if len(vs) == 0 {
+		m.q.cancel()
+		m.batches.Add(1) // empty batches count, same as the sync path
+		return
+	}
+	if buf != nil && viewInto(buf.b, vs) && (ws == nil || viewInto(buf.b, ws)) {
+		buf.retain()
+	} else {
+		buf = nil
+		vs = append([]float64(nil), vs...)
+		if ws != nil {
+			ws = append([]float64(nil), ws...)
+		}
+	}
+	m.q.enqueue(m, applyItem{vs: vs, ws: ws, buf: buf})
 }
 
 // ingestBatchPipelined is ingestBatch on the group-commit WAL path: the
 // append shares its fsync with whatever other binary batches are in flight,
 // so decode never serializes behind the sync. The ack contract is
 // unchanged — a nil return under every-batch means the batch is durable.
-func (s *Server) ingestBatchPipelined(name string, vs []float64) error {
+func (s *Server) ingestBatchPipelined(name string, vs []float64, buf *pooledBuf) error {
 	if err := s.reg.ValidateIngest(name, vs); err != nil {
+		return err
+	}
+	m, err := s.reg.getOrCreate(name)
+	if err != nil {
 		return err
 	}
 	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
 		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
+	}
+	if err := m.q.reserve(false); err != nil {
+		return err
 	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	if s.wal != nil {
 		if _, err := s.wal.AppendPipelined(s.reg.walRecordName(name), vs); err != nil {
+			m.q.cancel()
 			s.health.noteWAL(err)
 			return fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.health.noteWAL(nil)
 	}
-	return s.reg.Ingest(name, vs)
+	s.enqueueApply(m, vs, nil, buf)
+	return nil
 }
 
 // ingestWeightedBatchPipelined is ingestWeightedBatch on the group-commit
 // WAL path.
-func (s *Server) ingestWeightedBatchPipelined(name string, vs, ws []float64) error {
+func (s *Server) ingestWeightedBatchPipelined(name string, vs, ws []float64, buf *pooledBuf) error {
 	if err := s.reg.ValidateIngestWeighted(name, vs, ws); err != nil {
+		return err
+	}
+	m, err := s.reg.getOrCreateBackend(name, quantile.BackendWeighted)
+	if err != nil {
 		return err
 	}
 	if degraded, _, _, lastErr := s.health.state(s.opt.FailureThreshold); degraded {
 		return fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr)
 	}
+	if err := m.q.reserve(false); err != nil {
+		return err
+	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	if s.wal != nil {
 		if _, err := s.wal.AppendPipelined(weightedWALPrefix+name, interleaveWeighted(vs, ws)); err != nil {
+			m.q.cancel()
 			s.health.noteWAL(err)
 			return fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.health.noteWAL(nil)
 	}
-	return s.reg.IngestWeighted(name, vs, ws)
+	s.enqueueApply(m, vs, ws, buf)
+	return nil
 }
 
 // handleIngestBin serves POST /ingest/bin: the body is one binary ingest
@@ -233,10 +294,14 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 		s.writeIngestError(w, fmt.Errorf("%w (last error: %s)", ErrDegraded, lastErr))
 		return
 	}
-	sc := getIngestScratch()
-	defer putIngestScratch(sc)
+	// The body lands in a refcounted pooled buffer: batch frames parse
+	// zero-copy value views out of it and the apply queue holds a reference
+	// per enqueued batch, so the bytes live exactly as long as the last
+	// queued batch needs them.
+	buf := getFrameBuf(0)
+	defer buf.release()
 	var err error
-	sc.body, err = readFullBody(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes), sc.body)
+	buf.b, err = readFullBody(http.MaxBytesReader(w, r.Body, s.opt.MaxIngestBytes), buf.b)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -246,7 +311,7 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ingest body: %w", err))
 		return
 	}
-	version, err := parseBinPrologue(sc.body)
+	version, err := parseBinPrologue(buf.b)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -255,7 +320,7 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 	// so every frame payload below parses with the zero-copy value view.
 	bs := newBinSession(s, version)
 	defer bs.close()
-	rest := sc.body[binPrologueLen:]
+	rest := buf.b[binPrologueLen:]
 	var resp ingestResponse
 	for len(rest) > 0 {
 		var fr binParsed
@@ -264,7 +329,7 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		accepted, err := bs.handleFrame(fr)
+		accepted, err := bs.handleFrame(fr, buf)
 		if err != nil {
 			s.writeIngestError(w, err)
 			return
@@ -443,7 +508,6 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 	bs := newBinSession(s, version)
 	defer bs.close()
 	hdr := make([]byte, binFrameHeaderLen)
-	var payload []byte // reallocated only on growth; 8-aligned, so the zero-copy view applies
 	var ackBuf []byte
 	for {
 		readDeadline(idle)
@@ -455,24 +519,29 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			fatal(err)
 			return
 		}
-		if cap(payload) < plen {
-			payload = make([]byte, plen)
-		}
-		payload = payload[:plen]
+		// Each frame's payload lands in a refcounted pooled buffer: the
+		// batch's value view is handed to the apply queue without a copy and
+		// the buffer recycles once the batch is applied, so the connection
+		// can decode the next frame immediately.
+		payload := getFrameBuf(plen)
 		readDeadline(ioTO)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		if _, err := io.ReadFull(br, payload.b); err != nil {
+			payload.release()
 			return
 		}
-		if crc32.Checksum(payload, castagnoliBin) != crc {
+		if crc32.Checksum(payload.b, castagnoliBin) != crc {
+			payload.release()
 			fatal(fmt.Errorf("%w: CRC mismatch", ErrBadFrame))
 			return
 		}
-		fr, err := parseBinPayload(payload, bs.vals, bs.wts)
+		fr, err := parseBinPayload(payload.b, bs.vals, bs.wts)
 		if err != nil {
+			payload.release()
 			fatal(err)
 			return
 		}
 		if fr.typ == binFrameSession {
+			payload.release()
 			hw, err := bs.declareSession(fr.sid)
 			if err != nil {
 				fatal(err)
@@ -489,7 +558,8 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			}
 			continue
 		}
-		accepted, err := bs.handleFrame(fr)
+		accepted, err := bs.handleFrame(fr, payload)
+		payload.release()
 		if fr.typ != binFrameBatch {
 			if err != nil {
 				fatal(err)

@@ -569,3 +569,26 @@ func TestCloseBinaryDuringInflightDecode(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBinClientDistinctRandomSessionIDs guards the random session id draw:
+// clients constructed back to back (as a load generator opening N
+// connections does) must never share a session id, or the server's dedup
+// silently discards one client's batches as replays of the other's. The
+// draw must therefore come from the process-global source, not from a
+// per-client time-seeded rng that collides within one clock tick.
+func TestBinClientDistinctRandomSessionIDs(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 256; i++ {
+		c, err := NewBinClient(BinClientOptions{Addr: "127.0.0.1:1", Metric: "m"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.sid == 0 {
+			t.Fatal("v2 client with session id 0")
+		}
+		if seen[c.sid] {
+			t.Fatalf("session id collision after %d clients: %d", i, c.sid)
+		}
+		seen[c.sid] = true
+	}
+}

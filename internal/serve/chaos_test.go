@@ -40,6 +40,7 @@ func chaosSeeds(t *testing.T) int64 {
 type chaosHarness struct {
 	t   *testing.T
 	mem *faultfs.Mem
+	cfg Config
 
 	mu   sync.Mutex
 	addr string
@@ -50,7 +51,13 @@ type chaosHarness struct {
 }
 
 func newChaosHarness(t *testing.T) *chaosHarness {
-	h := &chaosHarness{t: t, mem: faultfs.NewMem()}
+	return newChaosHarnessCfg(t, crashConfig())
+}
+
+// newChaosHarnessCfg runs the harness under a non-default registry config
+// (every life, recoveries included, uses it).
+func newChaosHarnessCfg(t *testing.T, cfg Config) *chaosHarness {
+	h := &chaosHarness{t: t, mem: faultfs.NewMem(), cfg: cfg}
 	h.start()
 	return h
 }
@@ -59,7 +66,7 @@ func newChaosHarness(t *testing.T) *chaosHarness {
 // process restart.
 func (h *chaosHarness) start() {
 	h.t.Helper()
-	reg, err := NewRegistry(crashConfig())
+	reg, err := NewRegistry(h.cfg)
 	if err != nil {
 		h.t.Fatal(err)
 	}
@@ -275,6 +282,113 @@ func runChaosLife(t *testing.T, seed int64) {
 		t.Fatalf("final shutdown: %v", err)
 	}
 	h.reap()
+}
+
+// TestChaosKillWithBacklog is the async-apply extension of the chaos
+// harness: the registry runs with the worker pool disabled and a huge queue
+// depth, so every acked batch sits in its metric's apply queue — acked,
+// durable, NOT yet in the sketch — and the server is hard-killed (torn-page
+// power loss included) exactly in that state. The exactly-once invariant must
+// hold anyway: an acked-but-unapplied batch is by construction in the WAL, so
+// recovery replays it, and the recovered registry holds every acknowledged
+// value exactly once — nothing lost from the queues, nothing double-applied
+// by the replay.
+//
+// (The worker pool is disabled rather than raced because a live worker
+// shrinks the window; with barriers-only draining the backlog at kill time is
+// the entire acked stream since the last query, the worst case.)
+func TestChaosKillWithBacklog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness is seconds-long; skipped under -short")
+	}
+	const seeds = 6
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed*6007 + 11))
+			cfg := crashConfig()
+			// Barriers-only draining + an effectively unbounded queue: the
+			// whole acked stream backs up. (Bounded depth with the block
+			// policy and no workers would deadlock the final checkpoint —
+			// see docs/OPERATIONS.md.)
+			cfg.ApplyWorkers = -1
+			cfg.ApplyQueueDepth = 1 << 20
+			h := newChaosHarnessCfg(t, cfg)
+
+			client, err := NewBinClient(BinClientOptions{
+				Addr:        "chaos",
+				Dial:        func(string) (net.Conn, error) { return net.DialTimeout("tcp", h.currentAddr(), time.Second) },
+				Metric:      "lat",
+				SessionID:   uint64(seed)*2 + 1,
+				RetryMin:    time.Millisecond,
+				RetryMax:    20 * time.Millisecond,
+				AckTimeout:  250 * time.Millisecond,
+				MaxInflight: 1 + rng.Intn(8),
+				Rand:        rand.New(rand.NewSource(seed)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			data := permutation(2000 + int(seed)*61)
+			var oracle []float64
+			kills := 0
+			for len(data) > 0 {
+				n := 1 + rng.Intn(40)
+				if n > len(data) {
+					n = len(data)
+				}
+				batch := data[:n]
+				data = data[n:]
+				if err := client.Send(batch); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+				oracle = append(oracle, batch...)
+				// A few times per life: drain the client (everything acked),
+				// prove the acked batches are still queued unapplied, and
+				// pull the plug on exactly that state.
+				if rng.Intn(12) == 0 && len(data) > 0 {
+					if err := client.Flush(); err != nil {
+						t.Fatalf("flush: %v", err)
+					}
+					if pending := h.reg.ApplyStatus().PendingBatches; pending == 0 {
+						t.Fatalf("no batches pending before the kill; the schedule is not testing the backlog window")
+					}
+					kills++
+					h.kill(rng)
+				}
+			}
+			if err := client.Flush(); err != nil {
+				t.Fatalf("final flush: %v", err)
+			}
+			st := client.Stats()
+			if err := client.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if kills == 0 {
+				// The schedule fires with probability ~1-(11/12)^50 per life;
+				// a seed that never killed proves nothing.
+				t.Fatalf("schedule never killed the server; widen the kill probability")
+			}
+			if st.AckedValues != uint64(len(oracle)) {
+				t.Fatalf("acked %d values, enqueued %d", st.AckedValues, len(oracle))
+			}
+			verifyChaosOracle(t, h.reg, oracle, "live")
+
+			// The acked tail of the final life is still queued; a graceful
+			// restart must checkpoint it (drain barrier) and serve it back.
+			h.restart()
+			verifyChaosOracle(t, h.reg, oracle, "recovered")
+
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := h.s.Shutdown(ctx); err != nil {
+				t.Fatalf("final shutdown: %v", err)
+			}
+			h.reap()
+		})
+	}
 }
 
 // verifyChaosOracle is the differential proof: the count must EXACTLY equal

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"mrl/internal/faultfs"
 	"mrl/quantile"
@@ -76,6 +78,12 @@ func (m *metric) checkpointEstimators() ([]quantile.Estimator, error) {
 // that need the cut to be exact against walSeq must stop ingestion around
 // the call — Server does, via its ingest gate.
 func (r *Registry) WriteCheckpoint(w io.Writer, walSeq uint64) error {
+	// Checkpoint barrier: fold every acked-but-unapplied batch in before
+	// sealing. Under the Server's exclusive ingest gate no new enqueues can
+	// race this, so the encoded sketches contain exactly the batches at or
+	// below walSeq; library callers without a gate get the per-shard-atomic
+	// cut they always had.
+	r.drainAll()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ckptMagic); err != nil {
 		return err
@@ -239,6 +247,20 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nMetrics); err != nil {
 		return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 	}
+	// Restore in three phases: parse the file and create the metrics
+	// sequentially (error fidelity and creation order unchanged), decode the
+	// sketch blobs concurrently — the CPU-heavy part of a cold start — then
+	// install the baselines in file order, so the result is deterministic
+	// and identical to a fully sequential restore.
+	type restoreMetric struct {
+		name  string
+		m     *metric
+		be    quantile.Backend
+		blobs [][]byte
+		ests  []quantile.Estimator
+		errs  []error
+	}
+	items := make([]*restoreMetric, 0, nMetrics)
 	for i := uint32(0); i < nMetrics; i++ {
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
@@ -273,7 +295,7 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
 		}
-		estimators := make([]quantile.Estimator, 0, nBlobs)
+		it := &restoreMetric{name: name, m: m, be: backend, blobs: make([][]byte, 0, nBlobs)}
 		for j := uint32(0); j < nBlobs; j++ {
 			var blobLen uint32
 			if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
@@ -286,19 +308,44 @@ func (r *Registry) Restore(src io.Reader) (uint64, error) {
 			if _, err := io.ReadFull(br, blob); err != nil {
 				return 0, fmt.Errorf("serve: truncated checkpoint: %w", err)
 			}
-			e, err := quantile.EmptyEstimator(backend)
-			if err != nil {
-				return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
-			}
-			if err := e.UnmarshalBinary(blob); err != nil {
-				return 0, fmt.Errorf("serve: restoring %q: %w", name, err)
-			}
-			estimators = append(estimators, e)
+			it.blobs = append(it.blobs, blob)
 		}
-		m.gen.Add(1) // restored baselines change query answers
-		m.resMu.Lock()
-		m.restored = append(m.restored, estimators...)
-		m.resMu.Unlock()
+		items = append(items, it)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, it := range items {
+		it.ests = make([]quantile.Estimator, len(it.blobs))
+		it.errs = make([]error, len(it.blobs))
+		for j := range it.blobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(it *restoreMetric, j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				e, err := quantile.EmptyEstimator(it.be)
+				if err == nil {
+					err = e.UnmarshalBinary(it.blobs[j])
+				}
+				if err != nil {
+					it.errs[j] = err
+					return
+				}
+				it.ests[j] = e
+			}(it, j)
+		}
+	}
+	wg.Wait()
+	for _, it := range items {
+		for _, err := range it.errs {
+			if err != nil {
+				return 0, fmt.Errorf("serve: restoring %q: %w", it.name, err)
+			}
+		}
+		it.m.gen.Add(1) // restored baselines change query answers
+		it.m.resMu.Lock()
+		it.m.restored = append(it.m.restored, it.ests...)
+		it.m.resMu.Unlock()
 	}
 	if version >= 4 {
 		var nSessions uint32

@@ -80,7 +80,9 @@ func runCrashLife(t *testing.T, seed int64) {
 	binPath := seed%8 >= 4
 	ingest1 := s1.ingestBatch
 	if binPath {
-		ingest1 = s1.ingestBatchPipelined
+		ingest1 = func(name string, vs []float64) error {
+			return s1.ingestBatchPipelined(name, vs, nil)
+		}
 	}
 
 	// The fault fires partway through the stream; which kind depends on the
@@ -159,7 +161,9 @@ func runCrashLife(t *testing.T, seed int64) {
 	if binPath {
 		// The pipelined path also has to survive recovery AND the Shutdown
 		// below, which drains the committer before sealing the log.
-		ingest2 = s2.ingestBatchPipelined
+		ingest2 = func(name string, vs []float64) error {
+			return s2.ingestBatchPipelined(name, vs, nil)
+		}
 	}
 	if err := ingest2("lat", extra); err != nil {
 		t.Fatalf("ingest after recovery: %v", err)

@@ -108,11 +108,15 @@ func (s *Server) recoverState() error {
 				return nil
 			}
 		}
-		return s.reg.ApplyReplay(rec.Metric, rec.Values)
+		// Enqueue, don't apply: record decode and dedup stay single-threaded
+		// (error fidelity and high-water ordering unchanged) while the sketch
+		// work fans out across the apply workers, sharded by metric.
+		return s.reg.EnqueueReplay(rec.Metric, rec.Values)
 	})
 	if err != nil {
 		return fmt.Errorf("serve: wal replay: %w", err)
 	}
+	s.reg.drainAll() // every replayed record is applied before serving
 	if st.Replayed > 0 || st.Truncated > 0 {
 		s.logf("wal replay: %d records re-applied, %d skipped, %d segments truncated (last seq %d)",
 			st.Replayed, st.Skipped, st.Truncated, st.LastSeq)

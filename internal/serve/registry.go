@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -97,6 +98,23 @@ type Config struct {
 	// weights). Individual metrics can override it at registration or first
 	// ingest; a metric's backend is fixed once created.
 	Backend string
+
+	// ApplyWorkers sizes the async apply worker pool draining the binary
+	// ingest queues: 0 (the default) means one per GOMAXPROCS, -1 disables
+	// the pool entirely so queued batches apply only at drain barriers
+	// (queries, rotations, checkpoints).
+	ApplyWorkers int
+
+	// ApplyQueueDepth bounds one metric's apply backlog, in batches; 0 means
+	// 256. A full queue exerts backpressure on the binary ingest path per
+	// ApplyShed.
+	ApplyQueueDepth int
+
+	// ApplyShed selects the backpressure policy when a metric's apply queue
+	// is full: false (the default) blocks the ingest until a drainer frees
+	// space, true sheds the batch with ErrApplyBacklog (HTTP 429) before it
+	// is made durable, so a shed batch is always safe to retry.
+	ApplyShed bool
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +148,10 @@ type metric struct {
 	gen     atomic.Uint64
 	cacheMu sync.Mutex
 	cache   map[queryCacheKey]queryCacheEntry
+
+	// q is the metric's async apply backlog (binary ingest and recovery
+	// enqueue here; see applyqueue.go).
+	q applyQueue
 }
 
 // queryCacheKey identifies one repeated read: the raw phi parameter exactly
@@ -187,8 +209,15 @@ type Registry struct {
 	// defaultBackend is Config.Backend parsed once; metrics created without
 	// an explicit backend run it.
 	defaultBackend quantile.Backend
-	mu             sync.RWMutex
-	metrics        map[string]*metric
+
+	// metrics is an immutable snapshot swapped atomically on every create,
+	// so the per-batch lookup on the ingest hot path is a lock-free load;
+	// mu serialises writers (metric creation) only.
+	mu      sync.Mutex
+	metrics atomic.Pointer[map[string]*metric]
+
+	// pool drains the per-metric apply queues; see applyqueue.go.
+	pool *applyPool
 
 	// sessions is the binary ingest exactly-once dedup table (MRLB v2);
 	// see session.go.
@@ -210,13 +239,32 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if _, err := newMetric("probe", cfg, b); err != nil {
 		return nil, err
 	}
-	return &Registry{
+	workers := cfg.ApplyWorkers
+	switch {
+	case workers < 0:
+		workers = 0
+	case workers == 0:
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.ApplyQueueDepth
+	if depth <= 0 {
+		depth = defaultApplyQueueDepth
+	}
+	r := &Registry{
 		cfg:            cfg,
 		defaultBackend: b,
-		metrics:        make(map[string]*metric),
+		pool:           newApplyPool(workers, depth, cfg.ApplyShed),
 		sessions:       newSessionTable(sessionTableMax),
-	}, nil
+	}
+	empty := make(map[string]*metric)
+	r.metrics.Store(&empty)
+	return r, nil
 }
+
+// Close parks the apply worker pool. Queued batches stay queued and are
+// still applied by any drain barrier (queries, checkpoints); Server.Shutdown
+// closes the registry after its final checkpoint drained everything.
+func (r *Registry) Close() { r.pool.close() }
 
 func validateMetricName(name string) error {
 	if name == "" {
@@ -234,10 +282,7 @@ func validateMetricName(name string) error {
 }
 
 func (r *Registry) get(name string) *metric {
-	r.mu.RLock()
-	m := r.metrics[name]
-	r.mu.RUnlock()
-	return m
+	return (*r.metrics.Load())[name]
 }
 
 func (r *Registry) getOrCreate(name string) (*metric, error) {
@@ -270,7 +315,8 @@ func (r *Registry) getOrCreateBackend(name string, b quantile.Backend) (*metric,
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m := r.metrics[name]; m != nil {
+	old := *r.metrics.Load()
+	if m := old[name]; m != nil {
 		if m.backend != b {
 			return nil, fmt.Errorf("%w: %q runs %q, requested %q", ErrBackendMismatch, name, m.backend, b)
 		}
@@ -280,7 +326,15 @@ func (r *Registry) getOrCreateBackend(name string, b quantile.Backend) (*metric,
 	if err != nil {
 		return nil, err
 	}
-	r.metrics[name] = m
+	m.q.init(r.pool)
+	// Copy-on-write: readers keep their snapshot, the next lookup sees the
+	// new metric.
+	next := make(map[string]*metric, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = m
+	r.metrics.Store(&next)
 	return m, nil
 }
 
@@ -316,19 +370,16 @@ func (r *Registry) Backend(name string) quantile.Backend {
 
 // Len returns the number of registered metrics.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.metrics)
+	return len(*r.metrics.Load())
 }
 
 // Names returns the registered metric names, sorted.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.metrics))
-	for name := range r.metrics {
+	snap := *r.metrics.Load()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
 		names = append(names, name)
 	}
-	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -348,7 +399,17 @@ func (r *Registry) Ingest(name string, vs []float64) error {
 			return fmt.Errorf("%w (element %d)", ErrNaN, i)
 		}
 	}
-	m.batches.Add(1)
+	return m.applyPlain(vs, false)
+}
+
+// applyPlain folds one plain batch into the metric — the single apply path
+// shared by synchronous ingest, the async drainers, and WAL replay (replay
+// bypasses the window ring and counts values as replayed). Values are
+// NaN-free by the caller's validation.
+func (m *metric) applyPlain(vs []float64, replay bool) error {
+	if !replay {
+		m.batches.Add(1)
+	}
 	if len(vs) == 0 {
 		return nil
 	}
@@ -356,17 +417,81 @@ func (r *Registry) Ingest(name string, vs []float64) error {
 	if err := m.all.AddBatch(vs); err != nil {
 		return err
 	}
+	if replay {
+		m.replayed.Add(int64(len(vs)))
+		return nil
+	}
 	if m.ring != nil {
 		m.mu.Lock()
-		for _, v := range vs {
-			if err := m.ring.Add(v); err != nil {
+		if err := m.ring.AddBatch(vs); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		m.mu.Unlock()
+	}
+	m.ingested.Add(int64(len(vs)))
+	return nil
+}
+
+// applyWeighted is applyPlain for weighted batches; the window ring is
+// bypassed (it summarises unweighted recency).
+func (m *metric) applyWeighted(vs, ws []float64, replay bool) error {
+	if !replay {
+		m.batches.Add(1)
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	m.gen.Add(1)
+	if err := m.all.AddWeightedBatch(vs, ws); err != nil {
+		return err
+	}
+	if replay {
+		m.replayed.Add(int64(len(vs)))
+	} else {
+		m.ingested.Add(int64(len(vs)))
+	}
+	return nil
+}
+
+// applyCoalesced folds a run of adjacent plain batches in one multi-slice
+// AddBatch pass: one generation bump and one walk over the shard locks for
+// the whole run. Element order across the slices is exactly the FIFO order
+// the batches were acked in, so the result is identical to applying them one
+// by one.
+func (m *metric) applyCoalesced(vss [][]float64, replay bool) error {
+	var n int64
+	for _, vs := range vss {
+		n += int64(len(vs))
+	}
+	if !replay {
+		m.batches.Add(int64(len(vss)))
+	}
+	if n == 0 {
+		return nil
+	}
+	m.gen.Add(1)
+	if err := m.all.AddBatches(vss); err != nil {
+		return err
+	}
+	if replay {
+		m.replayed.Add(n)
+		return nil
+	}
+	if m.ring != nil {
+		m.mu.Lock()
+		for _, vs := range vss {
+			if len(vs) == 0 {
+				continue
+			}
+			if err := m.ring.AddBatch(vs); err != nil {
 				m.mu.Unlock()
 				return err
 			}
 		}
 		m.mu.Unlock()
 	}
-	m.ingested.Add(int64(len(vs)))
+	m.ingested.Add(n)
 	return nil
 }
 
@@ -412,16 +537,7 @@ func (r *Registry) IngestWeighted(name string, vs, ws []float64) error {
 	if err := validateWeights(vs, ws); err != nil {
 		return err
 	}
-	m.batches.Add(1)
-	if len(vs) == 0 {
-		return nil
-	}
-	m.gen.Add(1)
-	if err := m.all.AddWeightedBatch(vs, ws); err != nil {
-		return err
-	}
-	m.ingested.Add(int64(len(vs)))
-	return nil
+	return m.applyWeighted(vs, ws, false)
 }
 
 // ValidateIngest checks a batch without mutating anything: the metric name
@@ -488,88 +604,105 @@ func interleaveWeighted(vs, ws []float64) []float64 {
 	return out
 }
 
-// ApplyReplay folds one recovered WAL batch into the metric's all-time
-// sketch. Unlike Ingest it bypasses the tumbling window — windows describe
-// "recent" data, which a restart makes stale by definition — and counts the
-// values as replayed rather than ingested, so observability can tell
-// recovered history from this process's own traffic. Records under the
-// reserved weighted prefix are de-interleaved and re-applied as weighted
-// batches into their (weighted-backed) metric.
-func (r *Registry) ApplyReplay(name string, vs []float64) error {
+// resolveReplay decodes one recovered WAL record into its target metric and
+// validated (values, weights) batch: the reserved weighted prefix
+// de-interleaves [v, w, ...] pairs, the backend tag recreates the metric
+// under the summary type it was acknowledged with.
+func (r *Registry) resolveReplay(name string, vs []float64) (*metric, []float64, []float64, error) {
 	if rest, ok := strings.CutPrefix(name, weightedWALPrefix); ok {
-		return r.applyReplayWeighted(rest, vs)
+		if len(vs)%2 != 0 {
+			return nil, nil, nil, fmt.Errorf("%w: odd interleaved length %d replaying %q", ErrWeightMismatch, len(vs), rest)
+		}
+		n := len(vs) / 2
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = vs[2*i]
+			weights[i] = vs[2*i+1]
+		}
+		m, err := r.getOrCreateBackend(rest, quantile.BackendWeighted)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i, v := range values {
+			if math.IsNaN(v) {
+				return nil, nil, nil, fmt.Errorf("%w (element %d)", ErrNaN, i)
+			}
+		}
+		if err := validateWeights(values, weights); err != nil {
+			return nil, nil, nil, err
+		}
+		return m, values, weights, nil
 	}
 	var m *metric
 	var err error
 	if rest, ok := strings.CutPrefix(name, backendWALPrefix); ok {
 		tag, metricName, found := strings.Cut(rest, ":")
 		if !found {
-			return fmt.Errorf("%w: malformed backend-tagged WAL record %q", ErrInvalidBackend, name)
+			return nil, nil, nil, fmt.Errorf("%w: malformed backend-tagged WAL record %q", ErrInvalidBackend, name)
 		}
 		b, perr := quantile.ParseBackend(tag)
 		if perr != nil {
-			return fmt.Errorf("%w: %v", ErrInvalidBackend, perr)
+			return nil, nil, nil, fmt.Errorf("%w: %v", ErrInvalidBackend, perr)
 		}
-		name = metricName
-		m, err = r.getOrCreateBackend(name, b)
+		m, err = r.getOrCreateBackend(metricName, b)
 	} else {
 		m, err = r.getOrCreate(name)
 	}
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	for i, v := range vs {
 		if math.IsNaN(v) {
-			return fmt.Errorf("%w (element %d)", ErrNaN, i)
+			return nil, nil, nil, fmt.Errorf("%w (element %d)", ErrNaN, i)
 		}
 	}
-	if len(vs) == 0 {
-		return nil
-	}
-	m.gen.Add(1)
-	if err := m.all.AddBatch(vs); err != nil {
-		return err
-	}
-	m.replayed.Add(int64(len(vs)))
-	return nil
+	return m, vs, nil, nil
 }
 
-// applyReplayWeighted re-applies one weighted WAL record (interleaved
-// [v, w, ...]). The metric is created with the weighted backend if needed —
-// a weighted record can only exist because the metric was weighted when it
-// was acknowledged.
-func (r *Registry) applyReplayWeighted(name string, interleaved []float64) error {
-	if len(interleaved)%2 != 0 {
-		return fmt.Errorf("%w: odd interleaved length %d replaying %q", ErrWeightMismatch, len(interleaved), name)
-	}
-	n := len(interleaved) / 2
-	vs := make([]float64, n)
-	ws := make([]float64, n)
-	for i := 0; i < n; i++ {
-		vs[i] = interleaved[2*i]
-		ws[i] = interleaved[2*i+1]
-	}
-	m, err := r.getOrCreateBackend(name, quantile.BackendWeighted)
+// ApplyReplay folds one recovered WAL batch into the metric's all-time
+// sketch, synchronously. Unlike Ingest it bypasses the tumbling window —
+// windows describe "recent" data, which a restart makes stale by definition —
+// and counts the values as replayed rather than ingested, so observability
+// can tell recovered history from this process's own traffic.
+func (r *Registry) ApplyReplay(name string, vs []float64) error {
+	m, values, weights, err := r.resolveReplay(name, vs)
 	if err != nil {
 		return err
 	}
-	for i, v := range vs {
-		if math.IsNaN(v) {
-			return fmt.Errorf("%w (element %d)", ErrNaN, i)
-		}
+	if weights != nil {
+		return m.applyWeighted(values, weights, true)
 	}
-	if err := validateWeights(vs, ws); err != nil {
+	return m.applyPlain(values, true)
+}
+
+// EnqueueReplay is ApplyReplay through the async apply pipeline: the record
+// is resolved and validated synchronously (keeping recovery's error fidelity
+// and the single-threaded session dedup ordering) but applied by the worker
+// pool, so replay decode overlaps sketch work across metrics. Replay must
+// not drop records, so a full queue always blocks regardless of the shed
+// policy. Callers run drainAll before serving.
+func (r *Registry) EnqueueReplay(name string, vs []float64) error {
+	m, values, weights, err := r.resolveReplay(name, vs)
+	if err != nil {
 		return err
 	}
-	if n == 0 {
+	if len(values) == 0 {
 		return nil
 	}
-	m.gen.Add(1)
-	if err := m.all.AddWeightedBatch(vs, ws); err != nil {
+	if err := m.q.reserve(true); err != nil {
 		return err
 	}
-	m.replayed.Add(int64(n))
+	m.q.enqueue(m, applyItem{vs: values, ws: weights, replay: true})
 	return nil
+}
+
+// drainAll blocks until every queued batch in every metric is applied — the
+// barrier checkpoints and recovery run.
+func (r *Registry) drainAll() {
+	for _, m := range *r.metrics.Load() {
+		m.q.drain(m)
+	}
 }
 
 // Rotate tumbles the named metric's window ring: the current window is
@@ -582,6 +715,9 @@ func (r *Registry) Rotate(name string) error {
 	if m.ring == nil {
 		return ErrWindowingDisabled
 	}
+	// Rotation is a drain barrier: batches acked before the rotation belong
+	// to the closing window, not the fresh one.
+	m.q.drain(m)
 	m.gen.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -597,6 +733,7 @@ func (r *Registry) RotateAll() ([]string, error) {
 		if m == nil || m.ring == nil {
 			continue
 		}
+		m.q.drain(m)
 		m.gen.Add(1)
 		m.mu.Lock()
 		err := m.ring.Rotate()
@@ -634,6 +771,8 @@ func (r *Registry) Quantiles(name string, phis []float64, windowed bool) (QueryR
 	if m == nil {
 		return QueryResult{}, fmt.Errorf("%w: %q", ErrUnknownMetric, name)
 	}
+	// Read-your-acks: apply everything acked before the query arrived.
+	m.q.drain(m)
 	if windowed {
 		return m.queryWindow(phis)
 	}
@@ -651,6 +790,9 @@ func (r *Registry) QuantilesCached(name, rawKey string, phis []float64, windowed
 	if m == nil {
 		return QueryResult{}, fmt.Errorf("%w: %q", ErrUnknownMetric, name)
 	}
+	// Read-your-acks before the generation stamp is read, so a cached entry
+	// can never hide batches acked before the query.
+	m.q.drain(m)
 	key := queryCacheKey{phis: rawKey, windowed: windowed}
 	gen := m.gen.Load()
 	m.cacheMu.Lock()
@@ -694,13 +836,11 @@ func (r *Registry) QuantilesCached(name, rawKey string, phis []float64, windowed
 // CacheStatus reports the query-cache hit/miss counters and the number of
 // live entries across all metrics.
 func (r *Registry) CacheStatus() (hits, misses uint64, entries int) {
-	r.mu.RLock()
-	for _, m := range r.metrics {
+	for _, m := range *r.metrics.Load() {
 		m.cacheMu.Lock()
 		entries += len(m.cache)
 		m.cacheMu.Unlock()
 	}
-	r.mu.RUnlock()
 	return r.cacheHits.Load(), r.cacheMisses.Load(), entries
 }
 
@@ -790,6 +930,10 @@ type MetricStatus struct {
 	Compactions int64 `json:"compactions"`
 	// ErrorBound is the all-time combined rank error certified right now.
 	ErrorBound float64 `json:"errorBound"`
+	// PendingApplyBatches is the applied-vs-acked lag: batches acked (and
+	// made durable) but still waiting in the metric's apply queue. Any query
+	// against the metric drains it to zero first.
+	PendingApplyBatches uint64 `json:"pendingApplyBatches,omitempty"`
 	// Window is nil when windowed serving is disabled.
 	Window *WindowStatus `json:"window,omitempty"`
 }
@@ -815,21 +959,22 @@ func (m *metric) status() MetricStatus {
 	}
 	st := m.all.Stats()
 	out := MetricStatus{
-		Name:           m.name,
-		Backend:        string(m.backend),
-		Count:          m.all.Count() + restoredCount,
-		RestoredCount:  restoredCount,
-		IngestedValues: m.ingested.Load(),
-		IngestBatches:  m.batches.Load(),
-		ReplayedValues: m.replayed.Load(),
-		Shards:         m.all.Shards(),
-		ShardCounts:    m.all.ShardCounts(),
-		MemoryElements: int64(m.all.MemoryElements()) + restoredMem,
-		Collapses:      st.Collapses,
-		WeightSum:      st.WeightSum,
-		Fallbacks:      st.Fallbacks,
-		Compactions:    m.all.EstimatorStats().Compactions,
-		ErrorBound:     m.all.BoundEstimators(restored),
+		Name:                m.name,
+		Backend:             string(m.backend),
+		Count:               m.all.Count() + restoredCount,
+		RestoredCount:       restoredCount,
+		IngestedValues:      m.ingested.Load(),
+		IngestBatches:       m.batches.Load(),
+		ReplayedValues:      m.replayed.Load(),
+		Shards:              m.all.Shards(),
+		ShardCounts:         m.all.ShardCounts(),
+		MemoryElements:      int64(m.all.MemoryElements()) + restoredMem,
+		Collapses:           st.Collapses,
+		WeightSum:           st.WeightSum,
+		Fallbacks:           st.Fallbacks,
+		Compactions:         m.all.EstimatorStats().Compactions,
+		ErrorBound:          m.all.BoundEstimators(restored),
+		PendingApplyBatches: m.q.pending(),
 	}
 	if m.ring != nil {
 		m.mu.Lock()
@@ -844,4 +989,78 @@ func (m *metric) status() MetricStatus {
 		m.mu.Unlock()
 	}
 	return out
+}
+
+// ApplyStatus is the observability view of the async apply pipeline, served
+// in /metricsz's "apply" block.
+type ApplyStatus struct {
+	// Workers is the configured pool size; 0 means the pool is disabled and
+	// only drain barriers apply batches.
+	Workers int `json:"workers"`
+	// QueueDepth is the per-metric backlog bound, in batches.
+	QueueDepth int `json:"queueDepth"`
+	// Policy is the full-queue backpressure policy: "block" or "shed".
+	Policy string `json:"policy"`
+	// PendingBatches is the applied-vs-acked lag summed over all metrics.
+	PendingBatches uint64 `json:"pendingBatches"`
+	// EnqueuedBatches and AppliedBatches count batches through the pipeline;
+	// CoalescedBatches is the subset applied as part of a multi-batch
+	// coalesced run (CoalescedRatio = coalesced/applied).
+	EnqueuedBatches  int64   `json:"enqueuedBatches"`
+	AppliedBatches   int64   `json:"appliedBatches"`
+	CoalescedBatches int64   `json:"coalescedBatches"`
+	CoalescedRatio   float64 `json:"coalescedRatio"`
+	// ShedBatches counts batches rejected with ErrApplyBacklog; blocked
+	// enqueues counts reservations that had to wait for space.
+	ShedBatches     int64 `json:"shedBatches"`
+	BlockedEnqueues int64 `json:"blockedEnqueues"`
+	// RunningWorkers is the number of pool workers applying right now;
+	// WorkerRuns counts completed drain sessions and BusySeconds the
+	// cumulative time workers spent applying (utilisation =
+	// BusySeconds / (Workers * uptime)).
+	RunningWorkers int64   `json:"runningWorkers"`
+	WorkerRuns     int64   `json:"workerRuns"`
+	BusySeconds    float64 `json:"busySeconds"`
+	// ApplyErrors counts post-ack apply failures (a bug by construction:
+	// batches are fully validated before they are logged); LastError is the
+	// most recent one.
+	ApplyErrors int64  `json:"applyErrors"`
+	LastError   string `json:"lastError,omitempty"`
+}
+
+// ApplyStatus reports the async apply pipeline's counters. It does not drain
+// queues, so PendingBatches is the live lag.
+func (r *Registry) ApplyStatus() ApplyStatus {
+	p := r.pool
+	var pending uint64
+	for _, m := range *r.metrics.Load() {
+		pending += m.q.pending()
+	}
+	applied := p.appliedBatches.Load()
+	coalesced := p.coalescedBatches.Load()
+	st := ApplyStatus{
+		Workers:          p.workers,
+		QueueDepth:       p.depth,
+		Policy:           "block",
+		PendingBatches:   pending,
+		EnqueuedBatches:  p.enqueuedBatches.Load(),
+		AppliedBatches:   applied,
+		CoalescedBatches: coalesced,
+		ShedBatches:      p.shedBatches.Load(),
+		BlockedEnqueues:  p.blockedEnqueues.Load(),
+		RunningWorkers:   p.running.Load(),
+		WorkerRuns:       p.runs.Load(),
+		BusySeconds:      float64(p.busyNanos.Load()) / 1e9,
+		ApplyErrors:      p.applyErrors.Load(),
+	}
+	if p.shed {
+		st.Policy = "shed"
+	}
+	if applied > 0 {
+		st.CoalescedRatio = float64(coalesced) / float64(applied)
+	}
+	if e, ok := p.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
+	return st
 }

@@ -296,6 +296,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 		}
 	}
+	// Apply anything still queued (the final checkpoint already drained if
+	// one was configured), then park the apply workers.
+	s.reg.drainAll()
+	s.reg.Close()
 	return first
 }
 
@@ -329,7 +333,7 @@ func statusFor(err error) int {
 		errors.Is(err, ErrBadFrame), errors.Is(err, ErrUnknownMetricID),
 		errors.Is(err, quantile.ErrUnknownBackend):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrDegraded):
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrApplyBacklog):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
@@ -540,15 +544,19 @@ type metricszResponse struct {
 	Metrics      []MetricStatus   `json:"metrics"`
 	Durability   DurabilityStatus `json:"durability"`
 	QueryCache   QueryCacheStatus `json:"queryCache"`
+	Apply        ApplyStatus      `json:"apply"`
 	PprofEnabled bool             `json:"pprofEnabled"`
 }
 
+// handleMetricsz reports observability state. It deliberately does NOT drain
+// the apply queues, so the applied-vs-acked lag is visible here.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.reg.CacheStatus()
 	writeJSON(w, http.StatusOK, metricszResponse{
 		Metrics:      s.reg.Status(),
 		Durability:   s.durabilityStatus(),
 		QueryCache:   QueryCacheStatus{Hits: hits, Misses: misses, Entries: entries},
+		Apply:        s.reg.ApplyStatus(),
 		PprofEnabled: s.opt.EnablePprof,
 	})
 }

@@ -143,7 +143,9 @@ func readSegment(fsys faultfs.FS, path string, after uint64, lastSeen *uint64, f
 		return sc, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	// A big read buffer keeps recovery off the syscall path: segments are
+	// tens of megabytes and replay is throughput-bound.
+	br := bufio.NewReaderSize(f, 1<<20)
 
 	hdr := make([]byte, segHeaderLen)
 	if _, err := io.ReadFull(br, hdr); err != nil ||
@@ -155,6 +157,7 @@ func readSegment(fsys faultfs.FS, path string, after uint64, lastSeen *uint64, f
 	}
 
 	frameHdr := make([]byte, frameHeaderLen)
+	var payload []byte // reused across frames; parseRecord copies out of it
 	for {
 		if _, err := io.ReadFull(br, frameHdr); err != nil {
 			if err != io.EOF {
@@ -167,7 +170,10 @@ func readSegment(fsys faultfs.FS, path string, after uint64, lastSeen *uint64, f
 			sc.truncated = true
 			return sc, nil
 		}
-		payload := make([]byte, payloadLen)
+		if uint32(cap(payload)) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			sc.truncated = true
 			return sc, nil

@@ -50,6 +50,13 @@ func (r *Ring) Add(v float64) error {
 	return r.windows[r.head].Add(v)
 }
 
+// AddBatch records a batch into the current window. Like Sketch.AddBatch it
+// is all-or-nothing on NaN and leaves exactly the state an element-by-element
+// Add loop would.
+func (r *Ring) AddBatch(vs []float64) error {
+	return r.windows[r.head].AddBatch(vs)
+}
+
 // Rotate closes the current window and starts a new one, evicting the
 // oldest window once the ring is full.
 func (r *Ring) Rotate() error {
