@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-gate bench bench-json bench-gate profile reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke chaos
+.PHONY: all build test race cover cover-gate bench bench-json bench-gate profile reproduce examples clean check vet fmtcheck fuzz-smoke crashtest cert-smoke chaos cluster-smoke
 
 all: build test
 
@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/ ./internal/wal/ ./internal/faultfs/ ./internal/faultnet/
+	$(GO) test -race ./internal/parallel/ ./internal/core/ ./quantile/ ./internal/window/ ./internal/serve/ ./internal/wal/ ./internal/faultfs/ ./internal/faultnet/ ./internal/cluster/
 
 # crashtest runs the fault-injection harness under the race detector: seeded
 # kill-and-restart lives (ENOSPC, short writes, failed fsyncs, hard crashes)
@@ -37,13 +37,16 @@ crashtest:
 # detector: TestChaosExactlyOnce (each seed an independent deterministic
 # schedule of network faults, hard server kills with torn-page power loss,
 # and graceful restarts, with a retrying sessioned client streaming
-# throughout) and TestChaosKillWithBacklog (kills landing while acked batches
-# are still queued in the async apply pipeline, unapplied). The differential
-# proof per seed: the recovered registry holds every acknowledged value
-# exactly once.
+# throughout), TestChaosKillWithBacklog (kills landing while acked batches
+# are still queued in the async apply pipeline, unapplied), and the cluster
+# rows: TestChaosClusterShardKillExactlyOnce (shard nodes hard-killed
+# mid-stream under sessioned clients, verified through a fresh coordinator)
+# and TestChaosClusterQueryDegraded (the partial-answer degradation
+# contract under seeded node deaths). The differential proof per seed: the
+# recovered state holds every acknowledged value exactly once.
 CHAOS_SEEDS ?= 40
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/ ./internal/cluster/
 
 # fuzz-smoke gives every fuzz target a short budget; CI runs it after check.
 FUZZTIME ?= 10s
@@ -58,14 +61,23 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzKLLBinaryRoundTrip      -fuzztime=$(FUZZTIME) ./internal/kll/
 	$(GO) test -run='^$$' -fuzz=FuzzWeightedBinaryRoundTrip -fuzztime=$(FUZZTIME) ./internal/weighted/
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryIngestFrame       -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -run='^$$' -fuzz=FuzzClusterSnapshotFrame    -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # cert-smoke runs the guarantee-certification sweep at the CI budget: every
-# policy x order x estimator stack x backend (mrl, kll, weighted) is checked
-# against the exact oracle, and the certifier's own detection machinery is
-# mutation-tested — on both the mrl and kll axes — via -selftest.
+# policy x order x estimator stack x backend (mrl, kll, weighted) x
+# front-end (including the multi-node cluster axis) is checked against the
+# exact oracle, and the certifier's own detection machinery is
+# mutation-tested — on the mrl, kll and cluster axes — via -selftest.
 cert-smoke:
 	$(GO) run ./cmd/quantilecert -seed 1 -budget small
 	$(GO) run ./cmd/quantilecert -seed 1 -budget small -selftest
+
+# cluster-smoke is the end-to-end sharded-cluster smoke: 3 storage nodes +
+# a scatter/gather coordinator, quantileload spreading sessioned binary
+# ingest across all nodes, and a certified (bounded, non-partial) merged
+# answer from the coordinator.
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
 
 cover:
 	$(GO) test -cover ./...

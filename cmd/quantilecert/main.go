@@ -125,17 +125,19 @@ func runReplay(path string, opts cert.Options, stdout, stderr io.Writer) int {
 	return 1
 }
 
-// runSelftest mutation-tests the certifier: it corrupts two narrow slices
-// of the sweep's estimates — the MRL sketch axis and the KLL backend axis —
-// and requires the sweep to detect both, shrink them, and produce
-// certificates that replay to failing outcomes. Exit 0 means the certifier
-// works.
+// runSelftest mutation-tests the certifier: it corrupts three narrow
+// slices of the sweep's estimates — the MRL sketch axis, the KLL backend
+// axis, and the multi-node cluster axis — and requires the sweep to detect
+// all of them, shrink them, and produce certificates that replay to
+// failing outcomes. Exit 0 means the certifier works.
 func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 	opts.Corrupt = func(sc cert.Scenario, estimates []float64) {
-		if sc.Estimator != cert.EstimatorSketch || sc.Mode != "" || sc.Sampled || sc.Order != "sorted" {
+		if sc.Mode != "" || sc.Sampled || sc.Order != "sorted" {
 			return
 		}
-		if sc.Backend == "" || sc.Backend == "kll" {
+		sketchAxis := sc.Estimator == cert.EstimatorSketch && (sc.Backend == "" || sc.Backend == "kll")
+		clusterAxis := sc.Estimator == cert.EstimatorCluster && sc.Backend == ""
+		if sketchAxis || clusterAxis {
 			for i := range estimates {
 				estimates[i] += 1e9
 			}
@@ -152,6 +154,7 @@ func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 		return 1
 	}
 	caught := map[string]bool{}
+	caughtCluster := false
 	for _, ct := range res.Certificates {
 		if ct.ShrinkSteps == 0 || len(ct.Outcome.Violations) == 0 {
 			fmt.Fprintf(stdout, "SELFTEST FAIL: certificate for %s was not shrunk to a failing reproducer\n", ct.Original.Name())
@@ -162,7 +165,11 @@ func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "SELFTEST FAIL: certificate for %s did not replay to a failing outcome (err=%v)\n", ct.Original.Name(), err)
 			return 1
 		}
-		caught[ct.Minimal.Backend] = true
+		if ct.Minimal.Estimator == cert.EstimatorCluster {
+			caughtCluster = true
+		} else {
+			caught[ct.Minimal.Backend] = true
+		}
 	}
 	if !caught[""] && !caught["mrl"] {
 		fmt.Fprintln(stdout, "SELFTEST FAIL: injected MRL bug produced no certificate")
@@ -172,7 +179,11 @@ func runSelftest(opts cert.Options, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "SELFTEST FAIL: injected KLL bound bug produced no certificate")
 		return 1
 	}
-	fmt.Fprintf(stdout, "SELFTEST PASS: injected bugs detected in %d scenario(s) across the mrl and kll axes, shrunk to minimal reproducers (e.g. %s)\n",
+	if !caughtCluster {
+		fmt.Fprintln(stdout, "SELFTEST FAIL: injected cluster merge bug produced no certificate")
+		return 1
+	}
+	fmt.Fprintf(stdout, "SELFTEST PASS: injected bugs detected in %d scenario(s) across the mrl, kll and cluster axes, shrunk to minimal reproducers (e.g. %s)\n",
 		len(res.Certificates), res.Certificates[0].Minimal.Name())
 	return 0
 }

@@ -11,6 +11,13 @@
 //	curl 'localhost:8126/quantile?metric=lat&phi=0.99&window=true'
 //	curl localhost:8126/metricsz
 //
+// With -cluster it runs as a stateless scatter/gather coordinator over the
+// -peers node list instead: ingest is routed to each metric's owning node
+// (rendezvous hashing) and queries merge per-node estimator snapshots
+// through the §4.9 OUTPUT phase under the eps/h budget (docs/CLUSTER.md):
+//
+//	go run ./cmd/quantiled -cluster -peers http://n1:8126,http://n2:8126,http://n3:8126
+//
 // See docs/QUANTILED.md for the full API.
 package main
 
@@ -18,12 +25,14 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"mrl/internal/cluster"
 	"mrl/internal/serve"
 	"mrl/internal/wal"
 )
@@ -54,8 +63,16 @@ func main() {
 		metrics    = flag.String("metrics", "", `comma-separated metrics to pre-register, each "name" or "name=backend"`)
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining requests")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		clusterOn  = flag.Bool("cluster", false, "run as a cluster coordinator over -peers instead of a storage node")
+		peers      = flag.String("peers", "", `comma-separated peer base URLs for -cluster, e.g. "http://n1:8126,http://n2:8126"`)
+		peerTO     = flag.Duration("peer-timeout", 10*time.Second, "per-node request timeout in -cluster mode")
 	)
 	flag.Parse()
+
+	if *clusterOn {
+		runCoordinator(*addr, *peers, *epsilon, *peerTO, *grace)
+		return
+	}
 
 	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
 	if err != nil {
@@ -139,6 +156,52 @@ func main() {
 	case <-ctx.Done():
 		log.Printf("shutting down (grace %v)", *grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runCoordinator serves the -cluster coordinator: a stateless front end
+// over the peer nodes, so it needs none of the storage-node machinery
+// (checkpoints, WAL, windows) and ignores those flags.
+func runCoordinator(addr, peers string, epsilon float64, peerTimeout, grace time.Duration) {
+	var nodes []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:   nodes,
+		Epsilon: epsilon,
+		Timeout: peerTimeout,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("quantiled coordinator listening on %s over %d nodes (height %d)", addr, len(nodes), coord.Height())
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down (grace %v)", grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatal(err)

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -49,6 +50,7 @@ import (
 
 var (
 	addr      = flag.String("addr", "localhost:8127", "daemon binary ingest address (quantiled -bin-addr)")
+	peers     = flag.String("peers", "", "comma-separated binary ingest addresses of cluster nodes; connection i targets peer i mod N (overrides -addr for load connections)")
 	conns     = flag.Int("conns", 4, "concurrent ingest connections")
 	rate      = flag.Float64("rate", 0, "target values/sec across all connections (0 = unpaced)")
 	batchSize = flag.Int("batch", 1024, "values per batch frame")
@@ -101,6 +103,11 @@ func main() {
 	}
 	if *batchSize > 1_000_000 {
 		log.Fatalf("-batch %d exceeds the 1M-value frame cap", *batchSize)
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerAddrs = append(peerAddrs, p)
+		}
 	}
 
 	// Per-connection open-loop pacing interval: rate is shared evenly.
@@ -191,6 +198,19 @@ func fetchApply(addr string) (*applyz, error) {
 // unacknowledged batches with exactly-once semantics. Ack latencies arrive
 // through the OnAck callback, measured from enqueue so retries and
 // reconnects are *in* the reported distribution, not hidden by it.
+// peerAddrs is the parsed -peers list; empty means every connection dials
+// -addr. Spreading connections round-robin over a cluster's node listeners
+// is the multi-node load topology: each connection holds its own session,
+// so per-node exactly-once is preserved.
+var peerAddrs []string
+
+func connAddr(idx int) string {
+	if len(peerAddrs) == 0 {
+		return *addr
+	}
+	return peerAddrs[idx%len(peerAddrs)]
+}
+
 func runConn(ctx context.Context, idx int, interval time.Duration, start time.Time, lats chan<- time.Duration, stats *counters) error {
 	src, err := buildSource(*kind, int64(*cycle), *seed+int64(idx))
 	if err != nil {
@@ -201,7 +221,7 @@ func runConn(ctx context.Context, idx int, interval time.Duration, start time.Ti
 		sid = uint64(*session) + uint64(idx)
 	}
 	client, err := serve.NewBinClient(serve.BinClientOptions{
-		Addr:             *addr,
+		Addr:             connAddr(idx),
 		Metric:           *metric,
 		Backend:          *backend,
 		SessionID:        sid,

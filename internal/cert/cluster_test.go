@@ -1,0 +1,133 @@
+package cert
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClusterSweepAxis pins the multi-node grid into the sweep: at least
+// 30 cluster scenarios covering 1, 2 and 4 nodes, both query faces, and
+// every backend — and all of them must certify clean, which is the
+// acceptance claim that a 3-node answer's rank error stays within the
+// eps/h-derived bound it serves.
+func TestClusterSweepAxis(t *testing.T) {
+	scs, err := Scenarios(BudgetSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]bool{}
+	vias := map[string]bool{}
+	backends := map[string]bool{}
+	var clustered []Scenario
+	for _, sc := range scs {
+		if sc.Estimator != EstimatorCluster {
+			continue
+		}
+		clustered = append(clustered, sc)
+		nodes[sc.nodesOrDefault()] = true
+		vias[sc.ClusterVia] = true
+		backends[sc.Backend] = true
+	}
+	if len(clustered) < 30 {
+		t.Fatalf("sweep carries %d cluster scenarios, want at least 30", len(clustered))
+	}
+	for _, n := range []int{1, 2, 4} {
+		if !nodes[n] {
+			t.Errorf("no cluster scenario runs %d nodes", n)
+		}
+	}
+	for _, via := range []string{"api", "http"} {
+		if !vias[via] {
+			t.Errorf("no cluster scenario queries via %q", via)
+		}
+	}
+	for _, b := range []string{"", "kll", "weighted"} {
+		if !backends[b] {
+			t.Errorf("no cluster scenario runs backend %q", b)
+		}
+	}
+
+	c := NewCertifier(Options{})
+	for _, sc := range clustered {
+		out, err := c.Check(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if len(out.Violations) != 0 {
+			t.Errorf("%s: %d violation(s), first: %v", sc.Name(), len(out.Violations), out.Violations[0])
+		}
+	}
+}
+
+// TestInjectedClusterBoundBugIsCaughtShrunkAndReplayable is the mutation
+// twin of the cluster axis: corrupt a coordinator answer through the
+// Corrupt hook and require the certifier to detect it as both an epsilon
+// and a runtime-bound violation, shrink the scenario down to a single
+// node and phi (never pinning geometry — the nodes size their own), and
+// emit a certificate that replays bit-for-bit.
+func TestInjectedClusterBoundBugIsCaughtShrunkAndReplayable(t *testing.T) {
+	c := NewCertifier(Options{Corrupt: corruptAll})
+	sc := Scenario{
+		Estimator: EstimatorCluster,
+		Policy:    "new", Order: "shuffled",
+		Epsilon: 0.01, N: 2048, Phis: sweepPhis(),
+		Nodes: 4, ClusterVia: "api", Seed: 5,
+	}
+
+	out, err := c.Check(sc)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, v := range out.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds["epsilon"] || !kinds["bound"] {
+		t.Fatalf("injected bug not fully detected; violation kinds: %v", kinds)
+	}
+
+	ct, err := c.certify(sc)
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if ct.ShrinkSteps == 0 {
+		t.Fatal("shrinker accepted no reductions on a trivially shrinkable failure")
+	}
+	if ct.Minimal.N >= sc.N {
+		t.Errorf("minimal N = %d did not shrink below original %d", ct.Minimal.N, sc.N)
+	}
+	if len(ct.Minimal.Phis) != 1 {
+		t.Errorf("minimal reproducer still queries %d phis, want 1", len(ct.Minimal.Phis))
+	}
+	if ct.Minimal.Nodes != 1 {
+		t.Errorf("minimal reproducer still runs %d nodes, want 1", ct.Minimal.Nodes)
+	}
+	if ct.Minimal.B != 0 || ct.Minimal.K != 0 {
+		t.Errorf("shrinker pinned geometry b=%d k=%d on a cluster scenario, whose nodes size their own", ct.Minimal.B, ct.Minimal.K)
+	}
+	if len(ct.Outcome.Violations) == 0 {
+		t.Fatal("minimal scenario's outcome carries no violations")
+	}
+
+	js, err := ct.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	parsed, err := ParseCertificate(js)
+	if err != nil {
+		t.Fatalf("ParseCertificate: %v", err)
+	}
+	if parsed.Minimal.Estimator != EstimatorCluster || parsed.Minimal.ClusterVia != "api" {
+		t.Fatalf("cluster identity did not survive the JSON round trip: %+v", parsed.Minimal)
+	}
+	if !reflect.DeepEqual(parsed.Minimal, ct.Minimal) {
+		t.Fatal("minimal scenario did not survive the JSON round trip")
+	}
+	replayed, err := c.Replay(parsed)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(replayed, ct.Outcome) {
+		t.Errorf("replay diverged from the certified outcome:\ncertified %+v\nreplayed  %+v", ct.Outcome, replayed)
+	}
+}

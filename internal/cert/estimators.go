@@ -74,6 +74,8 @@ func runEstimator(sc Scenario, data, phis []float64) (runResult, error) {
 			return runBackendConcurrent(sc, backend, data, phis)
 		case EstimatorServe:
 			return runServe(sc, data, phis)
+		case EstimatorCluster:
+			return runCluster(sc, data, phis)
 		default:
 			return runResult{}, fmt.Errorf("cert: estimator %q does not support backend %q (the §4.9 snapshot combine is MRL-specific)", est, sc.Backend)
 		}
@@ -90,6 +92,8 @@ func runEstimator(sc Scenario, data, phis []float64) (runResult, error) {
 		return runParallel(sc, data, phis)
 	case EstimatorServe:
 		return runServe(sc, data, phis)
+	case EstimatorCluster:
+		return runCluster(sc, data, phis)
 	default:
 		return runResult{}, fmt.Errorf("cert: unknown estimator %q", sc.Estimator)
 	}

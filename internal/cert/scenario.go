@@ -49,6 +49,11 @@ const (
 	// EstimatorServe drives the internal/serve HTTP handler end to end:
 	// POST /ingest batches, then GET /quantile.
 	EstimatorServe = "serve"
+	// EstimatorCluster shards the stream across Nodes quantiled storage
+	// nodes (each provisioned at the eps/h split of the distribution-graph
+	// budget) and answers through the internal/cluster coordinator's
+	// scatter/gather snapshot merge.
+	EstimatorCluster = "cluster"
 )
 
 // Scenario is one fully self-contained, replayable certification case.
@@ -107,6 +112,16 @@ type Scenario struct {
 	// unused); the shrinker pins it from Epsilon and then halves it.
 	B int `json:"b,omitempty"`
 	K int `json:"k,omitempty"`
+	// Nodes (EstimatorCluster) is the storage-node count of the
+	// scatter/gather cluster; 0 means 3. Each node is provisioned at
+	// epsilon/h over its ceil(N/Nodes) slice (h = 2 for a multi-node
+	// cluster), so the coordinator's merged answer still certifies the
+	// a-priori epsilon*N claim for the MRL backend.
+	Nodes int `json:"nodes,omitempty"`
+	// ClusterVia (EstimatorCluster) selects the query face: "api" (default)
+	// asks the coordinator directly, "http" goes through the coordinator's
+	// GET /quantile front end.
+	ClusterVia string `json:"clusterVia,omitempty"`
 }
 
 // Name is the compact scenario identifier used in logs and failures.
@@ -132,6 +147,12 @@ func (sc Scenario) Name() string {
 	if sc.B > 0 {
 		extra += fmt.Sprintf("/b=%d,k=%d", sc.B, sc.K)
 	}
+	if sc.Nodes > 0 {
+		extra += fmt.Sprintf("/nodes=%d", sc.Nodes)
+	}
+	if sc.ClusterVia != "" {
+		extra += "/via=" + sc.ClusterVia
+	}
 	return fmt.Sprintf("%s/%s/%s/%s/eps=%g/n=%d/phis=%d/seed=%d%s",
 		mode, est, sc.Policy, sc.Order, sc.Epsilon, sc.N, len(sc.Phis), sc.Seed, extra)
 }
@@ -142,6 +163,14 @@ func (sc Scenario) shardsOrDefault() int {
 		return sc.Shards
 	}
 	return 4
+}
+
+// nodesOrDefault returns the effective cluster node count.
+func (sc Scenario) nodesOrDefault() int {
+	if sc.Nodes > 0 {
+		return sc.Nodes
+	}
+	return 3
 }
 
 // partsOrDefault returns the effective partition count.

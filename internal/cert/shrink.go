@@ -84,13 +84,19 @@ func shrinkCandidates(sc Scenario) []Scenario {
 		cand.Parts = sc.Parts / 2
 		out = append(out, cand)
 	}
+	if sc.Nodes > 1 {
+		cand := sc
+		cand.Nodes = sc.Nodes / 2
+		out = append(out, cand)
+	}
 
 	// KLL geometry: pin the accuracy parameter the Epsilon derivation would
 	// choose (so the reproducer no longer depends on the derivation), then
 	// halve k toward the sketch's floor. Mirrors the MRL b*k branch below;
-	// serve scenarios are excluded the same way (the registry sizes its own
-	// geometry, so a pinned K would be a no-op in the reproducer).
-	if sc.Backend == "kll" && sc.Estimator != EstimatorServe {
+	// serve and cluster scenarios are excluded the same way (their
+	// registries size their own geometry, so a pinned K would be a no-op in
+	// the reproducer).
+	if sc.Backend == "kll" && sc.Estimator != EstimatorServe && sc.Estimator != EstimatorCluster {
 		if sc.K == 0 {
 			if est, err := quantile.NewKLL(quantile.Config{Epsilon: sc.Epsilon}); err == nil {
 				cand := sc
@@ -113,7 +119,7 @@ func shrinkCandidates(sc Scenario) []Scenario {
 	// at all), then shrink K and B. Pinning voids the a-priori epsilon
 	// claim, so this branch only survives when the failure is in the
 	// runtime bound — exactly when a geometry-level reproducer is useful.
-	if sc.B == 0 && !sc.Sampled && sc.Estimator != EstimatorServe {
+	if sc.B == 0 && !sc.Sampled && sc.Estimator != EstimatorServe && sc.Estimator != EstimatorCluster {
 		if pol, err := sc.corePolicy(); err == nil {
 			if plan, err := params.Optimize(pol, sc.Epsilon, sc.N); err == nil {
 				cand := sc

@@ -347,5 +347,47 @@ func Scenarios(budget Budget, seed int64) ([]Scenario, error) {
 			Shards: 3, Seed: derive(),
 		})
 	}
+
+	// Multi-node cluster axis: the scatter/gather coordinator over 1, 2 and
+	// 4 storage nodes, each provisioned at the eps/h budget split, queried
+	// through both the coordinator API and its HTTP front end. The MRL grid
+	// asserts the a-priori epsilon*N claim survives the distribution-graph
+	// split; the tight-epsilon pair stresses the pooled-bound headroom and
+	// the non-MRL rows assert each backend's runtime bound across the
+	// snapshot transfer. Appended after the weighted axis for the same seed
+	// stability reason.
+	clusterOrders := []string{"sorted", "reversed", "shuffled", "organ-pipe"}
+	for _, nodes := range []int{1, 2, 4} {
+		for _, order := range clusterOrders {
+			for _, via := range []string{"api", "http"} {
+				scs = append(scs, Scenario{
+					Estimator: EstimatorCluster,
+					Policy:    "new", Order: order,
+					Epsilon: epss[0], N: ns[len(ns)-1], Phis: phis,
+					Nodes: nodes, ClusterVia: via, Seed: derive(),
+				})
+			}
+		}
+	}
+	for _, nodes := range []int{2, 4} {
+		scs = append(scs, Scenario{
+			Estimator: EstimatorCluster,
+			Policy:    "new", Order: "shuffled",
+			Epsilon: epss[len(epss)-1], N: ns[len(ns)-1], Phis: phis,
+			Nodes: nodes, ClusterVia: "api", Seed: derive(),
+		})
+	}
+	for _, backend := range Backends()[1:] {
+		for _, nodes := range []int{2, 4} {
+			for _, order := range []string{"sorted", "shuffled"} {
+				scs = append(scs, Scenario{
+					Estimator: EstimatorCluster, Backend: backend,
+					Policy: "new", Order: order,
+					Epsilon: epss[0], N: ns[len(ns)-1], Phis: phis,
+					Nodes: nodes, ClusterVia: "api", Seed: derive(),
+				})
+			}
+		}
+	}
 	return scs, nil
 }

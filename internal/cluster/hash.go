@@ -1,0 +1,41 @@
+package cluster
+
+import "hash/fnv"
+
+// Owner picks the node that owns key under rendezvous (highest-random-
+// weight) hashing: every (node, key) pair is scored independently and the
+// highest score wins. Each node's ownership is a deterministic function of
+// the full node list and the key alone — no ring state, no coordination —
+// and removing one node reassigns only the keys it owned, which is why the
+// coordinator can route with nothing but its static peer list. Ties (a
+// 64-bit hash collision) break toward the lower index so every coordinator
+// agrees. An empty node list returns -1.
+func Owner(nodes []string, key string) int {
+	best := -1
+	var bestScore uint64
+	for i, node := range nodes {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(node))
+		_, _ = h.Write([]byte{0}) // separator: ("ab","c") must not score as ("a","bc")
+		_, _ = h.Write([]byte(key))
+		if score := mix64(h.Sum64()); best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// mix64 is the murmur3 64-bit finalizer. Raw FNV-1a is unusable for HRW
+// ordering: node URLs differ in an early byte and share the key as a long
+// common suffix, so the states' difference just evolves multiplicatively
+// and one node outscores the rest for nearly every key (observed: 600 of
+// 600 test metrics on one node). The avalanche pass decorrelates the
+// per-node scores.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -163,6 +163,7 @@ func New(reg *Registry, opt Options) (*Server, error) {
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /ingest/bin", s.handleIngestBin)
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /rotate", s.handleRotate)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -301,6 +302,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.reg.drainAll()
 	s.reg.Close()
 	return first
+}
+
+// Kill is the crash-stop: it tears down the HTTP listener, every binary
+// ingest connection, and the background loops immediately — no request
+// drain, no final checkpoint, the WAL left unsealed — exactly what a
+// process kill leaves behind. Chaos harnesses use it to fail a cluster
+// node mid-stream; recovery is a fresh New over the same filesystem.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	srv := s.httpSrv
+	stop := s.stop
+	s.httpSrv = nil
+	s.stop = nil
+	s.mu.Unlock()
+
+	if srv != nil {
+		_ = srv.Close()
+	}
+	s.closeBinary()
+	if stop != nil {
+		close(stop)
+	}
+	s.loops.Wait()
 }
 
 // --- handlers ---

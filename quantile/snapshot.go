@@ -1,0 +1,166 @@
+package quantile
+
+import (
+	"errors"
+	"fmt"
+
+	"mrl/internal/parallel"
+)
+
+// EstimatorSnapshot is one frozen part of an estimator's state in
+// transferable form: the backend tag, the element count the blob covers,
+// and the backend's versioned binary serialisation (the same bytes
+// MarshalBinary/UnmarshalBinary speak). Snapshots are how estimator state
+// leaves a process — a cluster node ships one snapshot per live shard to
+// the coordinator, which restores and combines them without ever absorbing
+// into the originals. Keeping the parts separate matters for MRL: the
+// coordinator's §4.9 combined OUTPUT phase over the flat part list
+// certifies a tighter Lemma 5 bound than merging first would.
+type EstimatorSnapshot struct {
+	// Backend names the summary implementation that produced Blob.
+	Backend Backend
+	// Count is the number of elements Blob covers; restore verifies it.
+	Count int64
+	// Blob is the estimator's binary serialisation.
+	Blob []byte
+}
+
+// EstimatorSnapshots freezes every non-empty shard of the concurrent
+// estimator as a transferable snapshot, leaving the sketch live and
+// unchanged. Each shard is marshalled under its own lock, so concurrent
+// ingestion keeps flowing; the parts together cover every element applied
+// before the call (plus any that race in shard-by-shard, which only makes
+// the transfer fresher). Sampled configurations cannot arise here —
+// NewConcurrent rejects Delta — so every shard serialises cleanly.
+func (c *Concurrent) EstimatorSnapshots() ([]EstimatorSnapshot, error) {
+	snaps := make([]EstimatorSnapshot, 0, len(c.shards))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var (
+			count int64
+			blob  []byte
+			err   error
+		)
+		if sh.sk != nil {
+			if count = sh.sk.Count(); count > 0 {
+				blob, err = sh.sk.MarshalBinary()
+			}
+		} else {
+			if count = sh.est.Count(); count > 0 {
+				blob, err = sh.est.MarshalBinary()
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			continue
+		}
+		snaps = append(snaps, EstimatorSnapshot{Backend: c.backend, Count: count, Blob: blob})
+	}
+	return snaps, nil
+}
+
+// SnapshotEstimator freezes a standalone estimator — e.g. a restored
+// checkpoint baseline — as a transferable snapshot. Sampled MRL sketches
+// cannot be serialised and are refused.
+func SnapshotEstimator(e Estimator) (EstimatorSnapshot, error) {
+	var b Backend
+	switch est := e.(type) {
+	case *Sketch:
+		if est.Sampled() {
+			return EstimatorSnapshot{}, errors.New("quantile: sampled sketches cannot be snapshotted")
+		}
+		b = BackendMRL
+	case *KLL:
+		b = BackendKLL
+	case *Weighted:
+		b = BackendWeighted
+	default:
+		return EstimatorSnapshot{}, fmt.Errorf("quantile: cannot snapshot estimator %T", e)
+	}
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		return EstimatorSnapshot{}, err
+	}
+	return EstimatorSnapshot{Backend: b, Count: e.Count(), Blob: blob}, nil
+}
+
+// RestoreEstimatorSnapshot rebuilds a live estimator from a snapshot and
+// verifies the restored element count against the snapshot's declared one,
+// so a blob paired with the wrong header fails loudly instead of serving a
+// silently wrong certificate.
+func RestoreEstimatorSnapshot(snap EstimatorSnapshot) (Estimator, error) {
+	e, err := EmptyEstimator(snap.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.UnmarshalBinary(snap.Blob); err != nil {
+		return nil, err
+	}
+	if got := e.Count(); got != snap.Count {
+		return nil, fmt.Errorf("quantile: snapshot declares %d elements but blob restores %d", snap.Count, got)
+	}
+	return e, nil
+}
+
+// CombineEstimatorSnapshots answers quantiles over the union of the given
+// snapshots — the coordinator's scatter/gather merge. All parts must share
+// one backend. For MRL the parts feed the §4.9 combined OUTPUT phase
+// directly, so the returned bound is the exact pooled Lemma 5 accounting
+// over every part; for the other backends the parts are absorbed into one
+// estimator and answered with its a-posteriori bound. It returns the
+// estimates parallel to phis, the combined rank-error bound, and the total
+// element count the answers cover; all-empty input returns ErrEmpty.
+func CombineEstimatorSnapshots(snaps []EstimatorSnapshot, phis []float64) (values []float64, errorBound float64, count int64, err error) {
+	live := make([]EstimatorSnapshot, 0, len(snaps))
+	for _, s := range snaps {
+		if s.Count == 0 && len(s.Blob) == 0 {
+			continue
+		}
+		live = append(live, s)
+	}
+	if len(live) == 0 {
+		return nil, 0, 0, ErrEmpty
+	}
+	backend := live[0].Backend
+	for _, s := range live[1:] {
+		if s.Backend != backend {
+			return nil, 0, 0, fmt.Errorf("quantile: cannot combine %q and %q snapshots", backend, s.Backend)
+		}
+	}
+	ests := make([]Estimator, len(live))
+	for i, s := range live {
+		e, err := RestoreEstimatorSnapshot(s)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("quantile: snapshot part %d: %w", i, err)
+		}
+		ests[i] = e
+	}
+	if backend == BackendMRL || backend == "" {
+		parts := make([]parallel.Snapshot, len(ests))
+		for i, e := range ests {
+			parts[i] = parallel.Snap(e.(*Sketch).det)
+		}
+		res, err := parallel.CombineSnapshots(parts, phis)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Values, res.ErrorBound, res.Count, nil
+	}
+	// Uniform non-MRL: fold the restored parts (already private copies)
+	// and answer with the combined a-posteriori bound.
+	root := ests[0]
+	for _, e := range ests[1:] {
+		if err := root.Absorb(e); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	values, err = root.Quantiles(phis)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	bound, _ := root.ErrorBound()
+	return values, bound, root.Count(), nil
+}

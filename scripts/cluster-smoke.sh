@@ -1,0 +1,62 @@
+#!/bin/sh
+# cluster-smoke: end-to-end smoke of the sharded cluster. Three quantiled
+# storage nodes come up, each provisioned at the eps/h split (h = 2) of the
+# coordinator's 0.01 budget; a stateless coordinator fronts them; then
+# quantileload spreads sessioned binary ingest across all three nodes and
+# the coordinator must serve a certified scatter/gather answer: full
+# coverage (partial=false over 3 nodes at height 2) with a positive
+# runtime error bound.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+N1= N2= N3= COORD=
+cleanup() {
+	for pid in $N1 $N2 $N3 $COORD; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$WORK/quantiled" ./cmd/quantiled
+$GO build -o "$WORK/quantileload" ./cmd/quantileload
+
+"$WORK/quantiled" -addr 127.0.0.1:19221 -bin-addr 127.0.0.1:19231 -epsilon 0.005 -n 4000000 &
+N1=$!
+"$WORK/quantiled" -addr 127.0.0.1:19222 -bin-addr 127.0.0.1:19232 -epsilon 0.005 -n 4000000 &
+N2=$!
+"$WORK/quantiled" -addr 127.0.0.1:19223 -bin-addr 127.0.0.1:19233 -epsilon 0.005 -n 4000000 &
+N3=$!
+"$WORK/quantiled" -cluster \
+	-peers http://127.0.0.1:19221,http://127.0.0.1:19222,http://127.0.0.1:19223 \
+	-epsilon 0.01 -addr 127.0.0.1:19220 &
+COORD=$!
+sleep 1
+
+"$WORK/quantileload" \
+	-peers 127.0.0.1:19231,127.0.0.1:19232,127.0.0.1:19233 \
+	-addr 127.0.0.1:19231 \
+	-conns 3 -batch 2048 -duration 5s -metric load
+
+CZ=$(curl -fsS '127.0.0.1:19220/clusterz')
+echo "$CZ"
+if echo "$CZ" | grep -q '"healthy":false'; then
+	echo "cluster-smoke: FAIL: a node is unhealthy" >&2
+	exit 1
+fi
+
+OUT=$(curl -fsS '127.0.0.1:19220/quantile?metric=load&phi=0.5,0.99')
+echo "$OUT"
+for want in '"count":' '"errorBound":' '"nodes":3' '"height":2' '"partial":false'; do
+	if ! echo "$OUT" | grep -q "$want"; then
+		echo "cluster-smoke: FAIL: coordinator answer is missing $want" >&2
+		exit 1
+	fi
+done
+if echo "$OUT" | grep -q '"count":0[,}]'; then
+	echo "cluster-smoke: FAIL: coordinator merged an empty cluster" >&2
+	exit 1
+fi
+
+echo "cluster-smoke: PASS"
